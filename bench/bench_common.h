@@ -1,0 +1,118 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints (a) what the paper reports, (b) what this reproduction
+// measures, and (c) the shape criterion that must hold. Absolute numbers are
+// not expected to match (the substrate is a calibrated simulator, not the
+// authors' DAS-5 testbed); orderings, rough factors, and crossovers are.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "engine/context.h"
+#include "workloads/workloads.h"
+
+namespace saexbench {
+
+using namespace saex;
+
+inline void print_title(const std::string& id, const std::string& what,
+                        const std::string& shape) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("shape criterion: %s\n", shape.c_str());
+  std::printf("==================================================================\n");
+}
+
+struct RunOptions {
+  std::string policy = "default";  // default | static | dynamic
+  int static_io_threads = 8;
+  int nodes = 4;
+  bool ssd = false;
+  uint64_t seed = 42;
+  // 0 = nodes x 32, matching Spark's default on the testbed.
+  int default_parallelism = 0;
+  // Per-stage-ordinal thread counts; non-empty selects the BestFit policy.
+  std::map<int, int> per_stage_threads;
+};
+
+inline engine::JobReport run_workload(const workloads::WorkloadSpec& spec,
+                                      const RunOptions& opt) {
+  hw::ClusterSpec cs =
+      opt.ssd ? hw::ClusterSpec::das5_ssd(opt.nodes) : hw::ClusterSpec::das5(opt.nodes);
+  cs.seed = opt.seed;
+  hw::Cluster cluster(cs);
+
+  conf::Config config;
+  config.set_int("spark.default.parallelism",
+                 opt.default_parallelism > 0 ? opt.default_parallelism
+                                             : opt.nodes * 32);
+  if (!opt.per_stage_threads.empty()) {
+    auto map = opt.per_stage_threads;
+    return workloads::run_with_policy(
+        spec, cluster, std::move(config),
+        [map](adaptive::Sensor&, adaptive::PoolEffector& pool,
+              adaptive::SchedulerNotifier notifier, int vcores) {
+          return std::make_unique<adaptive::PerStagePolicy>(
+              pool, std::move(notifier), map, vcores);
+        });
+  }
+  config.set("saex.executor.policy", opt.policy);
+  config.set_int("saex.static.ioThreads", opt.static_io_threads);
+  return workloads::run(spec, cluster, std::move(config));
+}
+
+/// Runs the static sweep {32,16,8,4,2} and returns reports keyed by thread
+/// count (the paper's Fig. 2/4/10 protocol: the user value applies to
+/// I/O-tagged stages, other stages keep the default).
+inline std::map<int, engine::JobReport> static_sweep(
+    const workloads::WorkloadSpec& spec, const RunOptions& base = {}) {
+  std::map<int, engine::JobReport> out;
+  for (const int t : {32, 16, 8, 4, 2}) {
+    RunOptions opt = base;
+    opt.policy = "static";
+    opt.static_io_threads = t;
+    out.emplace(t, run_workload(spec, opt));
+  }
+  return out;
+}
+
+/// Derives the paper's "static BestFit": for each I/O-tagged stage the
+/// thread count whose sweep run finished that stage fastest; non-tagged
+/// stages keep the default (the static solution cannot touch them).
+inline std::map<int, int> best_fit_from_sweep(
+    const std::map<int, engine::JobReport>& sweep) {
+  std::map<int, int> best;
+  const engine::JobReport& ref = sweep.begin()->second;
+  for (size_t i = 0; i < ref.stages.size(); ++i) {
+    if (!ref.stages[i].io_tagged) continue;
+    double best_time = 1e300;
+    int best_threads = 32;
+    for (const auto& [threads, report] : sweep) {
+      const double d = report.stages[i].duration();
+      if (d < best_time) {
+        best_time = d;
+        best_threads = threads;
+      }
+    }
+    best[static_cast<int>(i)] = best_threads;
+  }
+  return best;
+}
+
+inline std::string percent_delta(double baseline, double value) {
+  return strfmt::format("{:.1f}%", 100.0 * (baseline - value) / baseline);
+}
+
+/// "threads used / total cores" stage annotation as in Fig. 8.
+inline std::string stage_threads_label(const engine::StageStats& s, int nodes,
+                                       int cores = 32) {
+  return strfmt::format("{}/{}", s.threads_total, nodes * cores);
+}
+
+}  // namespace saexbench

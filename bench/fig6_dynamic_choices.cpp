@@ -1,0 +1,42 @@
+// Figure 6: the thread count selected by the dynamic solution in each stage
+// of Terasort, for every executor individually.
+#include "bench_common.h"
+
+int main() {
+  using namespace saexbench;
+
+  print_title(
+      "Figure 6",
+      "dynamic solution's per-executor thread choice per Terasort stage",
+      "each executor settles independently per stage within [2, 32]; "
+      "choices differ across stages (paper: ~4 for the read stage, ~8 for "
+      "the shuffle/write stages, with one executor deviating)");
+
+  RunOptions opt;
+  opt.policy = "dynamic";
+  const engine::JobReport report = run_workload(workloads::terasort(), opt);
+
+  TextTable t({"stage", "executor 0", "executor 1", "executor 2", "executor 3",
+               "total"});
+  for (const auto& s : report.stages) {
+    std::vector<std::string> row{strfmt::format("{}", s.ordinal)};
+    for (const auto& es : s.executors) {
+      row.push_back(strfmt::format("{}", es.threads_settled));
+    }
+    row.push_back(stage_threads_label(s, 4));
+    t.add_row(row);
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\npaper Fig. 6/8a labels: stage0 14/128, stage1 32/128, stage2 34/128\n");
+
+  bool in_bounds = true;
+  for (const auto& s : report.stages) {
+    for (const auto& es : s.executors) {
+      in_bounds &= es.threads_settled >= 2 && es.threads_settled <= 32;
+    }
+  }
+  std::printf("shape (every executor within [2,32]): %s\n",
+              in_bounds ? "OK" : "VIOLATED");
+  return in_bounds ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Figure 8: end-to-end comparison of default Spark, the static BestFit and
+// the dynamic (self-adaptive) solution on the four evaluation applications.
+#include "bench_common.h"
+
+int main() {
+  using namespace saexbench;
+
+  print_title(
+      "Figure 8", "default vs static-BestFit vs dynamic (4 applications)",
+      "Terasort: both tuned variants much faster, BestFit ≤ dynamic (paper: "
+      "-47.5% / -34.4%). PageRank: dynamic clearly beats BestFit because it "
+      "also tunes the untagged shuffle stages (paper: -54.1% vs -16.3%). "
+      "Aggregation/Join: small effects either way (paper: +6.8% / +2.5%)");
+
+  struct App {
+    workloads::WorkloadSpec spec;
+    double paper_static_gain;   // % vs default
+    double paper_dynamic_gain;  // % vs default
+  };
+  const std::vector<App> apps = {
+      {workloads::terasort(), 47.5, 34.4},
+      {workloads::pagerank(), 16.28, 54.08},
+      {workloads::aggregation(), 0.0, 6.83},
+      {workloads::join(), 0.0, 2.54},
+  };
+
+  for (const App& app : apps) {
+    auto sweep = static_sweep(app.spec);
+    RunOptions bf;
+    bf.per_stage_threads = best_fit_from_sweep(sweep);
+    const engine::JobReport def = sweep.at(32);
+    const engine::JobReport best = run_workload(app.spec, bf);
+    RunOptions dyn;
+    dyn.policy = "dynamic";
+    const engine::JobReport adaptive = run_workload(app.spec, dyn);
+
+    std::printf("\n%s  (paper gains: static-bestfit -%.1f%%, dynamic -%.1f%%)\n",
+                app.spec.name.c_str(), app.paper_static_gain,
+                app.paper_dynamic_gain);
+    TextTable t({"variant", "runtime", "vs default", "per-stage threads"});
+    auto row = [&](const char* label, const engine::JobReport& r) {
+      std::string threads;
+      for (const auto& s : r.stages) threads += stage_threads_label(s, 4) + " ";
+      t.add_row({label, format_duration(r.total_runtime),
+                 percent_delta(def.total_runtime, r.total_runtime), threads});
+    };
+    row("default", def);
+    row("static-bestfit", best);
+    row("dynamic", adaptive);
+    std::printf("%s", t.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks for the hot substrate paths: the event
+// queue, the processor-sharing disk, the real thread pool, config lookups
+// and the deterministic RNG.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "conf/config.h"
+#include "hw/disk.h"
+#include "pool/dynamic_thread_pool.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace saex;
+
+void BM_SimulationScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulationScheduleFire);
+
+void BM_SimulationCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+      if (++depth < 1000) sim.schedule_after(0.001, chain);
+    };
+    depth = 0;
+    sim.schedule_at(0.0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulationCascade);
+
+void BM_DiskProcessorSharing(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    hw::Disk disk(sim, hw::DiskParams::hdd(), "bench");
+    int done = 0;
+    std::function<void(int, Bytes)> pump = [&](int s, Bytes left) {
+      if (left <= 0) {
+        ++done;
+        return;
+      }
+      disk.submit(mib(4), false, [&pump, s, left] { pump(s, left - mib(4)); });
+    };
+    for (int s = 0; s < streams; ++s) pump(s, mib(64));
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * streams * 16);
+}
+BENCHMARK(BM_DiskProcessorSharing)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ThreadPoolSubmit(benchmark::State& state) {
+  pool::DynamicThreadPool pool(4);
+  for (auto _ : state) {
+    std::atomic<int> count{0};
+    for (int i = 0; i < 256; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(count.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ThreadPoolSubmit);
+
+void BM_ThreadPoolResize(benchmark::State& state) {
+  pool::DynamicThreadPool pool(4);
+  int size = 4;
+  for (auto _ : state) {
+    size = size == 4 ? 8 : 4;
+    pool.set_pool_size(size);
+  }
+}
+BENCHMARK(BM_ThreadPoolResize);
+
+void BM_ConfigLookup(benchmark::State& state) {
+  conf::Config config;
+  config.set("spark.executor.cores", "16");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config.get_int("spark.executor.cores"));
+    benchmark::DoNotOptimize(config.get_bytes("spark.reducer.maxSizeInFlight"));
+  }
+}
+BENCHMARK(BM_ConfigLookup);
+
+void BM_RngNextDouble(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_double());
+  }
+}
+BENCHMARK(BM_RngNextDouble);
+
+}  // namespace
+
+BENCHMARK_MAIN();

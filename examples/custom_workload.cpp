@@ -1,0 +1,82 @@
+// Building your own workload against the public engine API: a clickstream
+// sessionization pipeline (scan + filter + join + aggregate + save), run
+// under the three executor policies.
+//
+//   ./examples/custom_workload [events_gib] [profiles_gib]
+//
+// This is what a downstream user does to evaluate whether self-adaptive
+// executors would help their job: describe the pipeline's per-operator cost
+// model (CPU per MiB, size ratios, shuffle traits), then compare policies
+// on a cluster model matching their hardware.
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/context.h"
+
+using namespace saex;
+
+namespace {
+
+engine::JobReport run_pipeline(const char* policy, double events_gib,
+                               double profiles_gib) {
+  hw::Cluster cluster(hw::ClusterSpec::das5(4));
+  conf::Config config;
+  config.set("saex.executor.policy", policy);
+  config.set_int("saex.static.ioThreads", 8);
+  engine::SparkContext ctx(cluster, std::move(config));
+
+  auto& dfs = ctx.dfs();
+  dfs.load_input("/clicks/events", gib(events_gib), 4, mib(32));
+  dfs.load_input("/clicks/profiles", gib(profiles_gib), 4, mib(32));
+
+  // Parse raw click events: JSON decoding is expensive, and bots are
+  // filtered out early.
+  const engine::Rdd events = ctx.text_file("/clicks/events")
+                                 .map("parseJson", {0.30, 0.8})
+                                 .filter("dropBots", 0.7, 0.05);
+
+  // User profiles: a smaller dimension table.
+  const engine::Rdd profiles =
+      ctx.text_file("/clicks/profiles").map("parseProfiles", {0.25, 1.0});
+
+  // Sessionize: join events with profiles, group into sessions, write the
+  // session table. The grouping is a hash aggregation -> it spills.
+  const engine::Rdd sessions =
+      events
+          .join(profiles, "joinProfiles", {0.10, 1.0}, 1.0, 0,
+                engine::ShuffleTraits{0.5, 1.6})
+          .reduce_by_key("sessionize", {0.08, 1.0}, 0.9, 0,
+                         engine::ShuffleTraits{0.6, 1.8})
+          .map("formatSessions", {0.04, 0.9})
+          .save_as_text_file("/clicks/sessions", 2);
+
+  return ctx.run_job(sessions, "sessionize");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double events_gib = argc > 1 ? std::atof(argv[1]) : 12.0;
+  const double profiles_gib = argc > 2 ? std::atof(argv[2]) : 2.0;
+
+  std::printf("clickstream sessionization: %.1f GiB events + %.1f GiB "
+              "profiles on a 4-node cluster\n\n",
+              events_gib, profiles_gib);
+
+  double default_runtime = 0.0;
+  for (const char* policy : {"default", "static", "dynamic"}) {
+    const engine::JobReport report =
+        run_pipeline(policy, events_gib, profiles_gib);
+    if (default_runtime == 0.0) default_runtime = report.total_runtime;
+    std::printf("%s\n", report.render().c_str());
+    std::printf("=> %s: %s (%.1f%% vs default)\n\n", policy,
+                format_duration(report.total_runtime).c_str(),
+                100.0 * (default_runtime - report.total_runtime) /
+                    default_runtime);
+  }
+  std::printf(
+      "Reading the reports: stages whose disk%% is high and cpu%% low are\n"
+      "contention-prone; the dynamic policy trims their thread counts, while\n"
+      "CPU-heavy scan stages stay at the default.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Explore the storage-device model that drives everything: throughput and
+// per-request latency of the HDD/SSD capacity curves under k concurrent
+// streams, plus the effect of node heterogeneity.
+//
+//   ./examples/explore_disk_model
+//
+// Useful when adapting the simulator to your own hardware: pick base_bw /
+// ncq / fragmentation parameters until this table matches an fio sweep of
+// your device, and the engine-level behaviour follows.
+#include <cstdio>
+#include <functional>
+
+#include "common/format.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "hw/disk.h"
+#include "sim/simulation.h"
+
+using namespace saex;
+
+namespace {
+
+// Aggregate throughput of k closed-loop readers, measured in simulation.
+double measure(const hw::DiskParams& params, int k, bool write) {
+  sim::Simulation sim;
+  hw::Disk disk(sim, params, "probe");
+  const Bytes per_stream = mib(256);
+  const Bytes chunk = mib(4);
+  int done = 0;
+  std::function<void(Bytes)> pump = [&](Bytes left) {
+    if (left <= 0) {
+      ++done;
+      return;
+    }
+    disk.submit(chunk, write, [&pump, left, chunk] { pump(left - chunk); });
+  };
+  for (int s = 0; s < k; ++s) pump(per_stream);
+  const double elapsed = sim.run();
+  return static_cast<double>(per_stream) * k / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("device capacity curves (calibrated against the paper's "
+              "Fig. 12 throughput series)\n\n");
+
+  for (const bool ssd : {false, true}) {
+    const hw::DiskParams params =
+        ssd ? hw::DiskParams::ssd() : hw::DiskParams::hdd();
+    sim::Simulation sim;
+    hw::Disk disk(sim, params, "probe");
+
+    std::printf("%s (base %s)\n", ssd ? "SSD" : "HDD",
+                format_rate(params.base_bw).c_str());
+    TextTable t({"streams", "C(k) model", "measured read", "measured write",
+                 "per-request latency", "curve"});
+    double peak = 0;
+    for (int k : {1, 2, 4, 8, 16, 32, 64}) peak = std::max(peak, disk.capacity_at(k));
+    for (const int k : {1, 2, 4, 8, 16, 32, 64}) {
+      const double model = disk.capacity_at(k);
+      const double read = measure(params, k, false);
+      const double write = measure(params, k, true);
+      const double latency =
+          static_cast<double>(mib(4)) / (model / k);  // seconds per 4 MiB
+      t.add_row({strfmt::format("{}", k), format_rate(model),
+                 format_rate(read), format_rate(write),
+                 strfmt::format("{:.1f} ms", latency * 1e3),
+                 ascii_bar(model, peak, 26)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  std::printf("heterogeneity: the same device at the speed factors a 44-node "
+              "cluster draws (Fig. 3)\n");
+  hw::ClusterSpec spec = hw::ClusterSpec::das5(8);
+  hw::Cluster cluster(spec);
+  for (int n = 0; n < cluster.size(); ++n) {
+    const double f = cluster.node(n).disk_speed_factor();
+    std::printf("  %s  factor %.3f  %s\n", cluster.node(n).hostname().c_str(),
+                f, ascii_bar(f, 1.2, 30).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// [A]nalyze — hill climbing over the thread count (paper §5.2).
+//
+// The climber starts at c_min and doubles the pool size each interval (low
+// settling time); when the analyzed metric worsens it rolls back one step
+// and freezes for the rest of the stage. Ascending rather than descending
+// because (1) Spark's scheduler has already queued `current size` tasks, so
+// shrinking strands queued work, and (2) when c_max is the bad setting,
+// starting there costs a full slow interval.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "adaptive/monitor.h"
+#include "adaptive/types.h"
+
+namespace saex::adaptive {
+
+struct Decision {
+  enum class Action {
+    kContinueClimb,  // set target_threads and open a new interval
+    kRollback,       // set target_threads (previous size) and freeze
+    kHold,           // keep current size and freeze (bound reached)
+  };
+  Action action = Action::kHold;
+  int target_threads = 0;
+  std::string reason;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(ControllerConfig config) : config_(config) {}
+
+  /// Pool size to explore first (c_min, or c_max when descending).
+  int first_threads() const noexcept;
+
+  /// Next exploration step from `current` (doubling/halving, clamped).
+  int next_threads(int current) const noexcept;
+
+  /// True when no further exploration step exists from `current`.
+  bool at_bound(int current) const noexcept;
+
+  /// The value being minimized for the configured metric.
+  double metric_value(const IntervalReport& report) const noexcept;
+
+  /// Compares the interval just measured against the previous one.
+  Decision decide(const std::optional<IntervalReport>& previous,
+                  const IntervalReport& current) const;
+
+  const ControllerConfig& config() const noexcept { return config_; }
+
+ private:
+  ControllerConfig config_;
+};
+
+}  // namespace saex::adaptive

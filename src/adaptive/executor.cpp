@@ -1,0 +1,14 @@
+#include "adaptive/executor.h"
+
+namespace saex::adaptive {
+
+void PlanExecutor::apply(const Plan& plan) {
+  if (plan.resize) {
+    pool_->set_pool_size(plan.set_size);
+  }
+  if (plan.notify_scheduler && notifier_) {
+    notifier_(plan.set_size);
+  }
+}
+
+}  // namespace saex::adaptive

@@ -1,0 +1,23 @@
+// [E]xecute — applies a plan to the managed resource through effectors.
+#pragma once
+
+#include "adaptive/planner.h"
+#include "adaptive/types.h"
+
+namespace saex::adaptive {
+
+class PlanExecutor {
+ public:
+  PlanExecutor(PoolEffector& pool, SchedulerNotifier notifier)
+      : pool_(&pool), notifier_(std::move(notifier)) {}
+
+  /// Applies the resize and, when required, notifies the scheduler so its
+  /// per-executor free-core registry matches the new pool size (§5.4).
+  void apply(const Plan& plan);
+
+ private:
+  PoolEffector* pool_;
+  SchedulerNotifier notifier_;
+};
+
+}  // namespace saex::adaptive

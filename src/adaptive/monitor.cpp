@@ -1,0 +1,30 @@
+#include "adaptive/monitor.h"
+
+#include <cassert>
+
+namespace saex::adaptive {
+
+void Monitor::begin_interval(double now, int threads) {
+  assert(!open_ && "previous interval still open");
+  open_ = true;
+  threads_ = threads;
+  start_time_ = now;
+  start_sample_ = sensor_->sample();
+}
+
+IntervalReport Monitor::end_interval(double now) {
+  assert(open_ && "no interval open");
+  open_ = false;
+  const IoSample end = sensor_->sample();
+  IntervalReport report;
+  report.threads = threads_;
+  report.start_time = start_time_;
+  report.end_time = now;
+  report.epoll_wait = end.epoll_wait_seconds - start_sample_.epoll_wait_seconds;
+  report.bytes = end.bytes_total - start_sample_.bytes_total;
+  report.disk_utilization = end.disk_utilization;
+  report.completions = end.tasks_completed - start_sample_.tasks_completed;
+  return report;
+}
+
+}  // namespace saex::adaptive

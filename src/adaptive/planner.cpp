@@ -1,0 +1,26 @@
+#include "adaptive/planner.h"
+
+namespace saex::adaptive {
+
+Plan Planner::plan(const Decision& decision, int current_size) const {
+  Plan p;
+  p.set_size = decision.target_threads;
+  p.resize = decision.target_threads != current_size;
+  // Every effective resize must reach the scheduler, or its free-core
+  // accounting diverges from the executor's actual capacity.
+  p.notify_scheduler = p.resize;
+  switch (decision.action) {
+    case Decision::Action::kContinueClimb:
+      p.freeze = false;
+      p.open_new_interval = true;
+      break;
+    case Decision::Action::kRollback:
+    case Decision::Action::kHold:
+      p.freeze = true;
+      p.open_new_interval = false;
+      break;
+  }
+  return p;
+}
+
+}  // namespace saex::adaptive

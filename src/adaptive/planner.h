@@ -1,0 +1,27 @@
+// [P]lan — turns an analyzer decision into a consistent set of actions.
+//
+// Paper §5.3: resizing the pool inside the executor is trivial; the hard
+// part is that the driver's scheduler tracks each executor's free cores and
+// keeps assigning tasks against the old size. The plan therefore couples the
+// resize with a scheduler notification whenever the size changes, preserving
+// system integrity.
+#pragma once
+
+#include "adaptive/analyzer.h"
+
+namespace saex::adaptive {
+
+struct Plan {
+  int set_size = 0;            // pool size to apply
+  bool resize = false;         // size actually changes
+  bool notify_scheduler = false;
+  bool freeze = true;          // stop tuning until the stage ends
+  bool open_new_interval = false;
+};
+
+class Planner {
+ public:
+  Plan plan(const Decision& decision, int current_size) const;
+};
+
+}  // namespace saex::adaptive

@@ -1,0 +1,80 @@
+// Shared types of the MAPE-K control loop (paper §5).
+//
+// The controller is engine-agnostic: it senses through `Sensor` (simulated
+// executors and the real procmon-based sampler both implement it) and acts
+// through `PoolEffector` (the engine's simulated executor and the real
+// pool::DynamicThreadPool both implement it). This mirrors the paper's
+// drop-in-replacement claim: the same loop drives any thread pool that can
+// report ε/µ and resize itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+
+namespace saex::conf {
+class Config;
+}
+
+namespace saex::adaptive {
+
+/// Monotone accumulators read at interval boundaries; the Monitor diffs two
+/// samples to obtain per-interval ε and bytes.
+struct IoSample {
+  double epoll_wait_seconds = 0.0;  // ε accumulator: time blocked on I/O
+  Bytes bytes_total = 0;            // disk + shuffle bytes moved by tasks
+  double disk_utilization = 0.0;    // windowed %util (ablation metric only)
+  uint64_t tasks_completed = 0;     // completion counter (ε normalization)
+};
+
+class Sensor {
+ public:
+  virtual ~Sensor() = default;
+  virtual IoSample sample() = 0;
+};
+
+class PoolEffector {
+ public:
+  virtual ~PoolEffector() = default;
+  virtual void set_pool_size(int threads) = 0;
+  virtual int pool_size() const = 0;
+};
+
+/// Which per-interval metric the analyzer minimizes (paper uses ζ = ε/µ;
+/// the alternatives exist for the ablation study motivated in §5.2).
+enum class Metric { kZeta, kEpollOnly, kDiskUtil };
+
+/// Paper: interval I_j = j task completions at pool size j. Fixed-time
+/// intervals are the ablation alternative.
+enum class IntervalMode { kCompletions, kFixedTime };
+
+struct ControllerConfig {
+  int min_threads = 2;     // c_min (paper argues 1 never wins)
+  int max_threads = 32;    // c_max = virtual cores
+  double tolerance_lower = 0.98;  // improvement must beat prev by >= 2%
+  double tolerance_upper = 1.10;  // worse than +10% triggers rollback
+  // L3 guards (§5.2): when the interval moved almost no bytes, or the disk
+  // was mostly idle, the stage is not I/O-constrained at this size — ζ
+  // carries no contention signal and the climber keeps preferring more
+  // threads ("if the input/output size or the disk utilization is too low to
+  // justify using fewer threads, the performance metrics capture this").
+  double min_throughput_bps = 1.0 * static_cast<double>(kMiB);
+  double min_disk_utilization = 0.55;
+  bool rollback = true;      // ablation: keep climbing on worse ζ
+  bool descending = false;   // ablation: start at c_max and halve
+  Metric metric = Metric::kZeta;
+  IntervalMode interval_mode = IntervalMode::kCompletions;
+  double fixed_interval_seconds = 5.0;
+
+  /// Reads the saex.dynamic.* keys; `virtual_cores` resolves maxThreads=0.
+  static ControllerConfig from_config(const conf::Config& config,
+                                      int virtual_cores);
+};
+
+/// Hook used by the Plan/Execute phases to keep the driver's scheduler view
+/// consistent (paper §5.3-5.4: the messaging protocol was extended so the
+/// scheduler learns about pool resizes).
+using SchedulerNotifier = std::function<void(int new_size)>;
+
+}  // namespace saex::adaptive

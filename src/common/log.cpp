@@ -1,0 +1,43 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace saex::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_emit_mutex;
+
+constexpr const char* kLevelNames[] = {"TRACE", "DEBUG", "INFO",
+                                       "WARN",  "ERROR", "OFF"};
+
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level level, std::string_view msg) {
+  const std::lock_guard lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", kLevelNames[static_cast<int>(level)],
+               static_cast<int>(msg.size()), msg.data());
+}
+
+Level parse_level(std::string_view name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "trace") return Level::kTrace;
+  if (lower == "debug") return Level::kDebug;
+  if (lower == "info") return Level::kInfo;
+  if (lower == "warn" || lower == "warning") return Level::kWarn;
+  if (lower == "error") return Level::kError;
+  if (lower == "off" || lower == "none") return Level::kOff;
+  return Level::kInfo;
+}
+
+}  // namespace saex::log

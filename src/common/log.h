@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// The library is used both from deterministic simulations (where logging is
+// normally off) and from interactive examples (where INFO-level progress is
+// useful), so the level is a process-global runtime switch.
+#pragma once
+
+#include <string_view>
+#include "common/format.h"
+
+namespace saex::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the process-wide minimum level that is emitted.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// Emits one line to stderr; used by the macros below.
+void emit(Level level, std::string_view msg);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+/// returns kInfo for unknown strings.
+Level parse_level(std::string_view name) noexcept;
+
+}  // namespace saex::log
+
+#define SAEX_LOG(lvl, ...)                                       \
+  do {                                                           \
+    if (static_cast<int>(lvl) >=                                 \
+        static_cast<int>(::saex::log::level())) {                \
+      ::saex::log::emit((lvl), saex::strfmt::format(__VA_ARGS__));        \
+    }                                                            \
+  } while (0)
+
+#define SAEX_TRACE(...) SAEX_LOG(::saex::log::Level::kTrace, __VA_ARGS__)
+#define SAEX_DEBUG(...) SAEX_LOG(::saex::log::Level::kDebug, __VA_ARGS__)
+#define SAEX_INFO(...) SAEX_LOG(::saex::log::Level::kInfo, __VA_ARGS__)
+#define SAEX_WARN(...) SAEX_LOG(::saex::log::Level::kWarn, __VA_ARGS__)
+#define SAEX_ERROR(...) SAEX_LOG(::saex::log::Level::kError, __VA_ARGS__)

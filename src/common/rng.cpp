@@ -1,0 +1,91 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace saex {
+namespace {
+
+uint64_t splitmix64(uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+// FNV-1a, used to turn fork tags into seed perturbations.
+uint64_t fnv1a(std::string_view s) noexcept {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) noexcept {
+  uint64_t x = seed;
+  for (auto& s : state_) s = splitmix64(x);
+}
+
+uint64_t Rng::next_u64() noexcept {
+  // xoshiro256**
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) noexcept {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(next_u64() % span);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; guard against log(0).
+  double u1 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+bool Rng::chance(double p) noexcept { return next_double() < p; }
+
+Rng Rng::fork(std::string_view tag) const noexcept { return fork(fnv1a(tag)); }
+
+Rng Rng::fork(uint64_t tag) const noexcept {
+  // Mix the current state with the tag; const_cast-free by copying.
+  uint64_t x = state_[0] ^ rotl(state_[2], 13) ^ (tag * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(x));
+}
+
+}  // namespace saex

@@ -1,0 +1,53 @@
+// Deterministic random source used throughout the simulator.
+//
+// All stochastic behaviour (node heterogeneity, workload skew, arrival
+// jitter) flows through SplitMix64-seeded xoshiro256**, so a run is fully
+// reproducible from a single 64-bit seed. Child generators derived with
+// fork(tag) are independent streams, which keeps module-level randomness
+// stable when unrelated modules add or remove draws.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace saex {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Uniform 64-bit value.
+  uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t uniform_int(int64_t lo, int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (no cached second value, to keep the
+  /// stream position independent of call pattern).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept;
+
+  /// Independent child stream identified by a tag; deterministic in
+  /// (parent seed, tag).
+  Rng fork(std::string_view tag) const noexcept;
+  Rng fork(uint64_t tag) const noexcept;
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace saex

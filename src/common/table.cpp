@@ -1,0 +1,81 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace saex {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+
+  auto render_rule = [&](std::ostringstream& out) {
+    out << '+';
+    for (size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto render_cells = [&](std::ostringstream& out, const std::vector<std::string>& cells) {
+    out << '|';
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      out << ' ' << c << std::string(widths[i] - c.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  render_rule(out);
+  render_cells(out, header_);
+  render_rule(out);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      render_rule(out);
+    } else {
+      render_cells(out, row);
+    }
+  }
+  render_rule(out);
+  return out.str();
+}
+
+std::string ascii_bar(double value, double max_value, int width, char fill) {
+  if (max_value <= 0.0 || width <= 0) return {};
+  const double frac = std::clamp(value / max_value, 0.0, 1.0);
+  const int n = static_cast<int>(std::lround(frac * width));
+  return std::string(static_cast<size_t>(n), fill);
+}
+
+std::string sparkline(const std::vector<double>& series) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (series.empty()) return {};
+  double lo = series.front(), hi = series.front();
+  for (double v : series) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (double v : series) {
+    int idx = 0;
+    if (hi > lo) idx = static_cast<int>((v - lo) / (hi - lo) * 7.0 + 0.5);
+    out += kBlocks[std::clamp(idx, 0, 7)];
+  }
+  return out;
+}
+
+}  // namespace saex

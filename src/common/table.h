@@ -1,0 +1,36 @@
+// ASCII table / bar-chart rendering for bench harness output.
+//
+// The bench binaries regenerate the paper's tables and figures as text; this
+// keeps the output self-contained and diff-able (EXPERIMENTS.md records it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace saex {
+
+/// Simple column-aligned table. Column count is fixed by the header row;
+/// rows with fewer cells are padded with empty strings.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector encodes a rule
+};
+
+/// Horizontal ASCII bar: value scaled against max onto `width` cells.
+std::string ascii_bar(double value, double max_value, int width = 40,
+                      char fill = '#');
+
+/// One-line sparkline over the series using block characters.
+std::string sparkline(const std::vector<double>& series);
+
+}  // namespace saex

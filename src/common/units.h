@@ -1,0 +1,31 @@
+// Byte/time unit helpers and human-readable formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace saex {
+
+using Bytes = int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes kib(double v) noexcept { return static_cast<Bytes>(v * static_cast<double>(kKiB)); }
+constexpr Bytes mib(double v) noexcept { return static_cast<Bytes>(v * static_cast<double>(kMiB)); }
+constexpr Bytes gib(double v) noexcept { return static_cast<Bytes>(v * static_cast<double>(kGiB)); }
+
+/// "1.25 GiB", "640.00 MiB", ...
+std::string format_bytes(Bytes b);
+
+/// Bytes-per-second as "213.4 MB/s" (decimal MB, matching iostat style).
+std::string format_rate(double bytes_per_sec);
+
+/// Seconds as "12.3s" / "3m42s" / "1h02m".
+std::string format_duration(double seconds);
+
+/// Percent with one decimal: "34.4%".
+std::string format_percent(double fraction);
+
+}  // namespace saex

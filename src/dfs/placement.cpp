@@ -1,0 +1,34 @@
+#include "dfs/placement.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace saex::dfs {
+
+PlacementPolicy::PlacementPolicy(int num_nodes, Rng rng)
+    : num_nodes_(num_nodes), rng_(rng) {
+  assert(num_nodes > 0);
+}
+
+int PlacementPolicy::next_primary() noexcept {
+  const int node = rr_cursor_;
+  rr_cursor_ = (rr_cursor_ + 1) % num_nodes_;
+  return node;
+}
+
+std::vector<int> PlacementPolicy::place(int replication, int preferred) {
+  replication = std::clamp(replication, 1, num_nodes_);
+  std::vector<int> replicas;
+  replicas.reserve(static_cast<size_t>(replication));
+  const int first = preferred >= 0 ? preferred % num_nodes_ : next_primary();
+  replicas.push_back(first);
+  while (static_cast<int>(replicas.size()) < replication) {
+    const int candidate = static_cast<int>(rng_.uniform_int(0, num_nodes_ - 1));
+    if (std::find(replicas.begin(), replicas.end(), candidate) == replicas.end()) {
+      replicas.push_back(candidate);
+    }
+  }
+  return replicas;
+}
+
+}  // namespace saex::dfs

@@ -1,0 +1,31 @@
+// Block placement policy for the simulated DFS.
+//
+// Mirrors HDFS defaults: the first replica lands on the writer (or a
+// rotating primary for pre-loaded input data), the remaining replicas on
+// distinct random nodes. Deterministic given the seed.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace saex::dfs {
+
+class PlacementPolicy {
+ public:
+  PlacementPolicy(int num_nodes, Rng rng);
+
+  /// Chooses `replication` distinct nodes; `preferred` (>= 0) becomes the
+  /// first replica. Replication is clamped to the cluster size.
+  std::vector<int> place(int replication, int preferred = -1);
+
+  /// Rotating primary used when loading input data with no writer affinity.
+  int next_primary() noexcept;
+
+ private:
+  int num_nodes_;
+  int rr_cursor_ = 0;
+  Rng rng_;
+};
+
+}  // namespace saex::dfs

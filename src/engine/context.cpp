@@ -1,0 +1,335 @@
+#include "engine/context.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/format.h"
+#include "common/log.h"
+#include "metrics/histogram.h"
+
+namespace saex::engine {
+
+SparkContext::PolicyFactory policy_factory_from_config(
+    const conf::Config& config) {
+  const std::string policy = config.get_string("saex.executor.policy");
+  const int io_threads = static_cast<int>(config.get_int("saex.static.ioThreads"));
+  if (policy == "static") {
+    return [io_threads](adaptive::Sensor&, adaptive::PoolEffector& pool,
+                        adaptive::SchedulerNotifier notifier, int vcores) {
+      return std::make_unique<adaptive::StaticIoPolicy>(
+          pool, std::move(notifier), io_threads, vcores);
+    };
+  }
+  if (policy == "dynamic") {
+    // ControllerConfig is captured by value; vcores resolves maxThreads=0.
+    conf::Config snapshot = config;
+    return [snapshot](adaptive::Sensor& sensor, adaptive::PoolEffector& pool,
+                      adaptive::SchedulerNotifier notifier, int vcores) {
+      const auto cc = adaptive::ControllerConfig::from_config(snapshot, vcores);
+      return std::make_unique<adaptive::DynamicPolicy>(cc, sensor, pool,
+                                                       std::move(notifier));
+    };
+  }
+  if (policy == "aimd") {
+    conf::Config snapshot = config;
+    return [snapshot](adaptive::Sensor& sensor, adaptive::PoolEffector& pool,
+                      adaptive::SchedulerNotifier notifier, int vcores) {
+      const auto cc = adaptive::ControllerConfig::from_config(snapshot, vcores);
+      return std::make_unique<adaptive::AimdPolicy>(cc, sensor, pool,
+                                                    std::move(notifier));
+    };
+  }
+  if (policy != "default") {
+    throw conf::ConfigError(
+        strfmt::format("unknown saex.executor.policy '{}'", policy));
+  }
+  return [](adaptive::Sensor&, adaptive::PoolEffector& pool,
+            adaptive::SchedulerNotifier notifier, int vcores) {
+    return std::make_unique<adaptive::DefaultPolicy>(pool, std::move(notifier),
+                                                     vcores);
+  };
+}
+
+SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
+    : cluster_(&cluster), config_(std::move(config)) {
+  dfs::Dfs::Options dfs_options;
+  dfs_options.block_size = config_.get_bytes("spark.files.maxPartitionBytes");
+  dfs_options.seed = cluster.spec().seed ^ 0x5a5a5a5aULL;
+  dfs_ = std::make_unique<dfs::Dfs>(cluster, dfs_options);
+  shuffles_ = std::make_unique<ShuffleManager>(cluster.size());
+  caches_ = std::make_unique<CacheRegistry>();
+
+  EngineEnv env;
+  env.sim = &cluster.sim();
+  env.cluster = &cluster;
+  env.dfs = dfs_.get();
+  env.shuffles = shuffles_.get();
+  env.caches = caches_.get();
+  env.storage_budget = static_cast<Bytes>(
+      static_cast<double>(cluster.spec().memory_per_node) *
+      config_.get_double("spark.memory.fraction") *
+      config_.get_double("spark.memory.storageFraction"));
+  env.task_failure_prob = config_.get_double("saex.sim.taskFailureProb");
+  env.flaky_node = static_cast<int>(config_.get_int("saex.sim.flakyNode"));
+  env.flaky_node_failure_prob =
+      config_.get_double("saex.sim.flakyNodeFailureProb");
+  env.event_log = &event_log_;
+
+  const int vcores = static_cast<int>(config_.get_int("spark.executor.cores"));
+  std::vector<ExecutorRuntime*> raw;
+  for (int n = 0; n < cluster.size(); ++n) {
+    executors_.push_back(std::make_unique<ExecutorRuntime>(env, n, vcores));
+    raw.push_back(executors_.back().get());
+  }
+  TaskScheduler::Options sched_options;
+  sched_options.max_task_failures =
+      static_cast<int>(config_.get_int("spark.task.maxFailures"));
+  sched_options.speculation = config_.get_bool("spark.speculation");
+  sched_options.speculation_multiplier =
+      config_.get_double("spark.speculation.multiplier");
+  sched_options.speculation_quantile =
+      config_.get_double("spark.speculation.quantile");
+  sched_options.speculation_interval =
+      config_.get_duration_seconds("spark.speculation.interval");
+  sched_options.locality_wait =
+      config_.get_duration_seconds("spark.locality.wait");
+  sched_options.blacklist_enabled = config_.get_bool("spark.blacklist.enabled");
+  sched_options.max_failed_tasks_per_executor = static_cast<int>(
+      config_.get_int("spark.blacklist.stage.maxFailedTasksPerExecutor"));
+  sched_options.event_log = &event_log_;
+  scheduler_ = std::make_unique<TaskScheduler>(cluster.sim(), raw,
+                                               sched_options);
+
+  dag_ = std::make_unique<DagScheduler>(
+      *dfs_, static_cast<int>(config_.get_int("spark.default.parallelism")));
+
+  policy_factory_ = policy_factory_from_config(config_);
+  policy_name_ = config_.get_string("saex.executor.policy");
+  install_policies();
+}
+
+void SparkContext::set_policy_factory(PolicyFactory factory) {
+  policy_factory_ = std::move(factory);
+  policy_name_ = "custom";
+  install_policies();
+}
+
+void SparkContext::install_policies() {
+  for (auto& exec : executors_) {
+    auto policy = policy_factory_(*exec, *exec,
+                                  scheduler_->make_notifier(exec->node_id()),
+                                  exec->virtual_cores());
+    policy_name_ = policy->name();
+    exec->set_policy(std::move(policy));
+  }
+}
+
+std::vector<TaskSpec> SparkContext::make_tasks(const Stage& stage) const {
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(static_cast<size_t>(stage.num_tasks));
+  const double cpu_per_byte =
+      stage.cpu_seconds_per_input_mib / static_cast<double>(kMiB);
+
+  for (int p = 0; p < stage.num_tasks; ++p) {
+    TaskSpec t;
+    t.stage_uid = stage.uid;
+    t.partition = p;
+    switch (stage.source) {
+      case StageSource::kDfs: {
+        const dfs::FileInfo* file = dfs_->lookup(stage.input_path);
+        assert(file != nullptr);
+        const dfs::Block& block = file->blocks[static_cast<size_t>(p)];
+        t.input_bytes = block.size;
+        t.preferred_nodes = block.replicas;
+        break;
+      }
+      case StageSource::kShuffle: {
+        Bytes total = 0;
+        for (const int sid : stage.in_shuffle_ids) {
+          for (const Bytes b :
+               shuffles_->fetch_plan(sid, p, stage.num_tasks)) {
+            total += b;
+          }
+        }
+        t.input_bytes = total;
+        break;
+      }
+      case StageSource::kCached: {
+        const auto& part = caches_->partition(stage.in_cache_id, p);
+        t.input_bytes = part.mem_bytes + part.spilled_bytes;
+        if (part.node >= 0) t.preferred_nodes = {part.node};
+        break;
+      }
+      case StageSource::kNone:
+        break;
+    }
+    t.cpu_seconds = cpu_per_byte * static_cast<double>(t.input_bytes);
+    t.output_bytes = static_cast<Bytes>(static_cast<double>(t.input_bytes) *
+                                        stage.output_ratio);
+    t.cache_bytes = static_cast<Bytes>(static_cast<double>(t.input_bytes) *
+                                       stage.cache_ratio);
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {
+  // The DAG scheduler persists across jobs: cached RDDs and shuffle outputs
+  // materialized by earlier jobs are reused, not recomputed.
+  JobPlan plan = dag_->build(action);
+
+  for (const auto& [cache_id, info] : dag_->caches()) {
+    if (!caches_->has(cache_id)) caches_->init(cache_id, info.partitions);
+  }
+
+  sim::Simulation& sim = cluster_->sim();
+  const int job_id = job_counter_++;
+
+  JobReport report;
+  report.app_name = std::move(app_name);
+  report.policy_name = policy_name_;
+  const double job_start = sim.now();
+  event_log_.record(Event{EventKind::kJobStart, job_start, job_id, -1, -1, -1,
+                          0, report.app_name});
+
+  // Per-node snapshot baselines.
+  struct Baseline {
+    Bytes disk_read, disk_written;
+    double blocked;
+    Bytes io_bytes;
+  };
+
+  for (Stage& stage : plan.stages) {
+    const double stage_start = sim.now();
+
+    // Stage start: every executor's policy (re)sizes its pool. The ordinal
+    // is application-wide (continues across jobs) so per-stage policies see
+    // the same numbering the paper's figures use.
+    const adaptive::StageContext sctx{
+        static_cast<int64_t>(job_id) * 1000 + stage.ordinal,
+        app_stage_counter_++, stage.io_tagged};
+    for (auto& exec : executors_) {
+      exec->policy().on_stage_start(sctx, stage_start);
+    }
+
+    std::vector<Baseline> base;
+    Bytes net_base = cluster_->network().total_bytes();
+    for (auto& exec : executors_) {
+      const hw::Node& node = cluster_->node(exec->node_id());
+      base.push_back(Baseline{node.disk().total_bytes_read(),
+                              node.disk().total_bytes_written(),
+                              exec->io_counters().blocked_seconds,
+                              exec->io_counters().bytes_total()});
+    }
+
+    event_log_.record(Event{EventKind::kStageStart, stage_start, job_id,
+                            sctx.stage_ordinal, -1, -1, stage.num_tasks,
+                            stage.name});
+    bool done = false;
+    scheduler_->run_stage(stage, make_tasks(stage), [&done] { done = true; });
+    uint64_t steps = 0;
+    while (!done) {
+      if (!sim.step()) {
+        throw std::runtime_error(strfmt::format(
+            "stage {} deadlocked: no pending events but tasks incomplete",
+            stage.ordinal));
+      }
+      if ((++steps & 0xfffff) == 0) {
+        SAEX_DEBUG("stage {}: {} steps, sim time {:.1f}s, pending {}",
+                   stage.ordinal, steps, sim.now(), sim.pending());
+      }
+    }
+    const double stage_end = sim.now();
+    for (auto& exec : executors_) exec->policy().on_stage_end(stage_end);
+    event_log_.record(Event{EventKind::kStageEnd, stage_end, job_id,
+                            sctx.stage_ordinal, -1, -1, 0, stage.name});
+
+    if (scheduler_->stage_failed()) {
+      throw std::runtime_error(strfmt::format(
+          "stage {} aborted: a task exceeded spark.task.maxFailures",
+          stage.ordinal));
+    }
+
+    // Register the produced output file so downstream stages could read it.
+    if (stage.sink == StageSink::kDfsWrite && !dfs_->exists(stage.out_path)) {
+      dfs_->create_output(stage.out_path, stage.output_bytes(), 0,
+                          stage.out_replication);
+    }
+
+    // Roll up stage metrics.
+    StageStats stats;
+    stats.ordinal = stage.ordinal;
+    stats.name = stage.name;
+    stats.io_tagged = stage.io_tagged;
+    stats.num_tasks = stage.num_tasks;
+    stats.start_time = stage_start;
+    stats.end_time = stage_end;
+    stats.input_bytes = stage.input_bytes;
+    stats.net_bytes = cluster_->network().total_bytes() - net_base;
+
+    const double dur = std::max(stage_end - stage_start, 1e-9);
+    double cpu_sum = 0.0, disk_sum = 0.0, iowait_sum = 0.0;
+    for (size_t i = 0; i < executors_.size(); ++i) {
+      ExecutorRuntime& exec = *executors_[i];
+      const hw::Node& node = cluster_->node(exec.node_id());
+      const double cpu_util =
+          node.cpu().busy_tracker().utilization(stage_start, stage_end);
+      const double disk_util =
+          node.disk().busy_tracker().utilization(stage_start, stage_end);
+      const double blocked =
+          exec.io_counters().blocked_seconds - base[i].blocked;
+      // mpstat-style iowait: cores idle while I/O is pending; bounded by the
+      // idle fraction.
+      const double cores = static_cast<double>(node.cpu().cores());
+      const double iowait =
+          std::min(blocked / (cores * dur), std::max(0.0, 1.0 - cpu_util));
+
+      cpu_sum += cpu_util;
+      disk_sum += disk_util;
+      iowait_sum += iowait;
+      stats.disk_read += node.disk().total_bytes_read() - base[i].disk_read;
+      stats.disk_written +=
+          node.disk().total_bytes_written() - base[i].disk_written;
+
+      ExecutorStageStats es;
+      es.node = exec.node_id();
+      es.threads_settled = exec.pool_size();
+      es.blocked_seconds = blocked;
+      es.io_bytes = exec.io_counters().bytes_total() - base[i].io_bytes;
+      stats.threads_total += es.threads_settled;
+      stats.executors.push_back(es);
+    }
+    const double n = static_cast<double>(executors_.size());
+    stats.cpu_utilization = cpu_sum / n;
+    stats.disk_utilization = disk_sum / n;
+    stats.iowait_fraction = iowait_sum / n;
+
+    metrics::Histogram durations(0.01, 1.15);
+    for (const double d : scheduler_->completed_durations()) durations.add(d);
+    stats.task_p50 = durations.quantile(0.5);
+    stats.task_p95 = durations.quantile(0.95);
+    stats.task_max = durations.max();
+
+    if (stage.source == StageSource::kDfs && report.input_bytes == 0) {
+      report.input_bytes = stage.input_bytes;
+    }
+    report.stages.push_back(std::move(stats));
+
+    SAEX_INFO("stage {} '{}' finished in {} (threads {}/{})", stage.ordinal,
+              stage.name, format_duration(stage_end - stage_start),
+              report.stages.back().threads_total,
+              static_cast<int>(n) *
+                  static_cast<int>(config_.get_int("spark.executor.cores")));
+  }
+
+  event_log_.record(Event{EventKind::kJobEnd, sim.now(), job_id, -1, -1, -1,
+                          0, report.app_name});
+  report.total_runtime = sim.now() - job_start;
+  for (const StageStats& s : report.stages) {
+    report.total_disk_bytes += s.disk_read + s.disk_written;
+  }
+  return report;
+}
+
+}  // namespace saex::engine

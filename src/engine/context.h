@@ -1,0 +1,99 @@
+// SparkContext: the engine's public entry point.
+//
+// Owns the DFS, the shuffle and cache registries, one ExecutorRuntime per
+// node (as in the paper's deployment: one executor per machine using all 32
+// virtual cores), the driver-side TaskScheduler, and the thread-policy
+// wiring. run_job() builds the stage DAG and executes stages sequentially,
+// returning the measured JobReport.
+//
+//   hw::Cluster cluster(hw::ClusterSpec::das5(4));
+//   engine::SparkContext ctx(cluster, conf::Config{});
+//   ctx.dfs().load_input("/in", gib(120), 4);
+//   auto out = ctx.text_file("/in").sort_by_key("sort", {0.001, 1.0})
+//                 .save_as_text_file("/out");
+//   engine::JobReport report = ctx.run_job(out, "terasort");
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/policies.h"
+#include "conf/config.h"
+#include "dfs/dfs.h"
+#include "engine/dag_scheduler.h"
+#include "engine/event_log.h"
+#include "engine/executor_runtime.h"
+#include "engine/plan.h"
+#include "engine/report.h"
+#include "engine/shuffle.h"
+#include "engine/task_scheduler.h"
+#include "hw/cluster.h"
+
+namespace saex::engine {
+
+class SparkContext {
+ public:
+  /// Creates a policy for one executor. Arguments: the executor's sensor,
+  /// effector, the driver notifier, and the node's virtual core count.
+  using PolicyFactory = std::function<std::unique_ptr<adaptive::ThreadPolicy>(
+      adaptive::Sensor&, adaptive::PoolEffector&, adaptive::SchedulerNotifier,
+      int virtual_cores)>;
+
+  SparkContext(hw::Cluster& cluster, conf::Config config);
+  SparkContext(const SparkContext&) = delete;
+  SparkContext& operator=(const SparkContext&) = delete;
+
+  dfs::Dfs& dfs() noexcept { return *dfs_; }
+  const conf::Config& config() const noexcept { return config_; }
+  hw::Cluster& cluster() noexcept { return *cluster_; }
+
+  /// Overrides the policy chosen from saex.executor.policy. Must be called
+  /// before run_job; replaces every executor's policy.
+  void set_policy_factory(PolicyFactory factory);
+
+  /// Plan construction.
+  Rdd text_file(const std::string& path) { return plans_.text_file(path); }
+  PlanBuilder& plan_builder() noexcept { return plans_; }
+
+  /// Builds the DAG for `action`, runs its stages in order, returns metrics.
+  JobReport run_job(const Rdd& action, std::string app_name = "app");
+
+  ExecutorRuntime& executor(int node_id) {
+    return *executors_[static_cast<size_t>(node_id)];
+  }
+  /// Application event log (job/stage/task/resize events; see EventLog for
+  /// the JSON-lines and Chrome-trace exporters).
+  EventLog& event_log() noexcept { return event_log_; }
+  const EventLog& event_log() const noexcept { return event_log_; }
+  int num_executors() const noexcept { return static_cast<int>(executors_.size()); }
+  TaskScheduler& scheduler() noexcept { return *scheduler_; }
+  ShuffleManager& shuffles() noexcept { return *shuffles_; }
+
+ private:
+  void install_policies();
+  std::vector<TaskSpec> make_tasks(const Stage& stage) const;
+
+  hw::Cluster* cluster_;
+  conf::Config config_;
+  std::unique_ptr<dfs::Dfs> dfs_;
+  std::unique_ptr<ShuffleManager> shuffles_;
+  std::unique_ptr<CacheRegistry> caches_;
+  std::vector<std::unique_ptr<ExecutorRuntime>> executors_;
+  std::unique_ptr<TaskScheduler> scheduler_;
+  std::unique_ptr<DagScheduler> dag_;
+  EventLog event_log_;
+  PlanBuilder plans_;
+  PolicyFactory policy_factory_;
+  std::string policy_name_;
+  int job_counter_ = 0;
+  int app_stage_counter_ = 0;
+};
+
+/// Builds the PolicyFactory implied by `config` ("saex.executor.policy" =
+/// default | static | dynamic). Exposed so benches can construct sweep
+/// variants (e.g. PerStagePolicy for static BestFit) the same way.
+SparkContext::PolicyFactory policy_factory_from_config(const conf::Config& config);
+
+}  // namespace saex::engine

@@ -1,0 +1,71 @@
+// Application event log — the engine's analogue of Spark's event log
+// (spark.eventLog.enabled): a flat record of job/stage/task/resize events
+// that tools can post-process. Two export formats:
+//
+//  * JSON lines, one event per line (Spark-history-server style)
+//  * Chrome trace format (chrome://tracing / Perfetto), with one process
+//    per node and tasks as complete ("X") events — the quickest way to *see*
+//    an adaptive executor throttle its concurrency mid-job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace saex::engine {
+
+enum class EventKind {
+  kJobStart,
+  kJobEnd,
+  kStageStart,
+  kStageEnd,
+  kTaskStart,
+  kTaskEnd,
+  kTaskFailed,
+  kPoolResize,
+  kSpeculativeLaunch,
+};
+
+std::string_view event_kind_name(EventKind kind) noexcept;
+
+struct Event {
+  EventKind kind{};
+  double time = 0.0;     // simulated seconds
+  int job = -1;
+  int stage = -1;        // application stage ordinal
+  int partition = -1;
+  int node = -1;
+  int64_t value = 0;     // kind-specific: threads for resizes, bytes for tasks
+  std::string label;     // stage/app name where useful
+};
+
+class EventLog {
+ public:
+  void record(Event event) { events_.push_back(std::move(event)); }
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  size_t size() const noexcept { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, in order.
+  std::vector<Event> of_kind(EventKind kind) const;
+
+  /// One JSON object per line.
+  std::string to_json_lines() const;
+
+  /// Chrome trace JSON (array form). Tasks become duration events grouped
+  /// by node; pool resizes become counter events so the thread-count
+  /// staircase is visible on the timeline.
+  std::string to_chrome_trace() const;
+
+  /// Writes `content` produced by either exporter; returns false on I/O
+  /// failure.
+  static bool write_file(const std::string& path, const std::string& content);
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace saex::engine

@@ -1,0 +1,610 @@
+#include "engine/executor_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "common/log.h"
+
+namespace saex::engine {
+
+void CacheRegistry::init(int cache_id, int partitions) {
+  parts_[cache_id].resize(static_cast<size_t>(partitions));
+}
+
+// ---------------------------------------------------------------------------
+// Task execution state machine.
+//
+// A task pumps fixed-size chunks through read → compute → write, with one
+// outstanding read and one outstanding write overlapping the computation —
+// the effect of OS readahead and write-behind in a real executor.
+//
+// ε (epoll wait) accounts the full issue→completion latency of every I/O
+// request, which is what strace's epoll_wait aggregation measures in the
+// paper (§5.1): the NIO threads wait out the whole request regardless of
+// whether the compute thread overlapped it. Under light load ε per byte is
+// the device's unloaded latency; past saturation shared-queue latencies blow
+// up — the signal the congestion index is built from.
+// ---------------------------------------------------------------------------
+
+struct ExecutorRuntime::TaskRun {
+  enum class SegmentKind {
+    kMemory,     // cached partition in local memory: instant
+    kLocalDisk,  // read from this node's disk
+    kRemote,     // remote disk read + network transfer
+    kNetOnly,    // network transfer only (remote cached memory)
+  };
+  struct Segment {
+    SegmentKind kind;
+    int src_node;
+    Bytes bytes;
+  };
+  enum class Waiting { kNone, kRead, kWrite, kWriteDrain };
+
+  ExecutorRuntime* exec = nullptr;
+  TaskSpec spec;
+  TaskDone on_done;
+
+  // Input plan.
+  std::vector<Segment> segments;
+  size_t seg_idx = 0;
+  Bytes seg_left = 0;  // remaining bytes of segments[seg_idx]
+
+  // Stage-derived rates.
+  double cpu_per_byte = 0.0;
+  double out_per_byte = 0.0;
+  double cache_per_byte = 0.0;
+
+  // Sink description.
+  StageSink sink = StageSink::kDriver;
+  int out_shuffle_id = -1;
+  std::vector<int> out_replica_nodes;  // DFS replicas beyond the local one
+
+  // Cache output bookkeeping.
+  int cache_out_id = -1;
+  Bytes cache_mem_written = 0;
+  Bytes cache_spilled = 0;
+
+  // Read channel: up to fetch_cap outstanding reads (shuffle fetches mirror
+  // Spark's spark.reducer.maxSizeInFlight parallel fetching; sequential DFS
+  // scans keep one outstanding request, i.e. plain readahead).
+  int fetch_cap = 1;
+  int reads_outstanding = 0;
+  std::deque<Bytes> ready_chunks;
+
+  // Write channel.
+  bool write_in_flight = false;
+  Bytes pending_write_local = 0;
+  Bytes pending_write_replicated = 0;
+  Bytes pending_write_readback = 0;
+
+  // Reduce-side sort spill (shuffle-source tasks only).
+  double spill_per_byte = 0.0;
+  double spill_acc = 0.0;
+  // Device work multiplier for the consumed shuffle's on-disk data.
+  double scatter = 1.0;
+
+  // Consumer state.
+  Waiting waiting = Waiting::kNone;
+  double stall_start = 0.0;
+  double out_acc = 0.0;
+  double cache_acc = 0.0;
+  Bytes shuffle_written = 0;
+
+  // Fault injection: the attempt dies after consuming fail_after bytes.
+  bool will_fail = false;
+  Bytes fail_after = 0;
+  Bytes consumed = 0;
+  bool aborting = false;
+
+  sim::Simulation& sim() { return *exec->env_.sim; }
+  double now() { return exec->env_.sim->now(); }
+
+  void account_bytes(Bytes bytes, bool is_write) {
+    if (is_write) {
+      exec->io_.add_write(bytes);
+    } else {
+      exec->io_.add_read(bytes);
+    }
+    exec->io_series_.add(now(), bytes);
+  }
+
+  void account_latency(double issued_at) {
+    exec->io_.add_blocked(now() - issued_at);
+  }
+
+  void begin_stall(Waiting w) {
+    waiting = w;
+    stall_start = now();
+  }
+  void end_stall() { waiting = Waiting::kNone; }
+
+  void start() {
+    issue_reads();
+    consume();
+  }
+
+  // ---- read channel ----
+
+  bool reads_remaining() {
+    while (seg_idx < segments.size() && seg_left == 0) {
+      if (segments[seg_idx].bytes > 0) break;
+      ++seg_idx;
+    }
+    if (seg_idx < segments.size() && seg_left == 0) {
+      seg_left = segments[seg_idx].bytes;
+    }
+    return seg_idx < segments.size() && seg_left > 0;
+  }
+
+  void issue_reads() {
+    while (reads_outstanding < fetch_cap && reads_remaining()) issue_one_read();
+  }
+
+  void issue_one_read() {
+    const Segment& seg = segments[seg_idx];
+    const Bytes chunk = std::min(exec->env_.io_chunk, seg_left);
+    seg_left -= chunk;
+    if (seg_left == 0) ++seg_idx;
+    ++reads_outstanding;
+    const double issued = now();
+
+    switch (seg.kind) {
+      case SegmentKind::kMemory:
+        sim().schedule_after(0.0, [this, chunk] { on_read_done(chunk, -1.0); });
+        return;
+      case SegmentKind::kLocalDisk:
+        exec->node().disk().submit(
+            chunk, false,
+            [this, chunk, issued] { on_read_done(chunk, issued); }, scatter);
+        return;
+      case SegmentKind::kRemote: {
+        // Remote disk read (contending with the source node's own tasks),
+        // then the transfer across the network. The fetch connection is open
+        // for the whole request — server-side disk time included — which is
+        // what piles up on a downlink during wide shuffles (incast).
+        const int src = seg.src_node;
+        hw::Network& net = exec->env_.cluster->network();
+        net.register_fetch(src, exec->node_id_);
+        exec->env_.cluster->node(src).disk().submit(
+            chunk, false,
+            [this, chunk, src, issued, &net] {
+              net.transfer(src, exec->node_id_, chunk,
+                           [this, chunk, issued, src, &net] {
+                             net.unregister_fetch(src, exec->node_id_);
+                             on_read_done(chunk, issued);
+                           });
+            },
+            scatter);
+        return;
+      }
+      case SegmentKind::kNetOnly:
+        exec->env_.cluster->network().transfer(
+            seg.src_node, exec->node_id_, chunk,
+            [this, chunk, issued] { on_read_done(chunk, issued); });
+        return;
+    }
+  }
+
+  void on_read_done(Bytes chunk, double issued_at) {
+    --reads_outstanding;
+    ready_chunks.push_back(chunk);
+    if (issued_at >= 0.0) {  // memory reads cost no I/O wait and no bytes
+      account_bytes(chunk, false);
+      account_latency(issued_at);
+    }
+    if (aborting) {
+      maybe_finish_abort();
+      return;
+    }
+    if (waiting == Waiting::kRead) {
+      end_stall();
+      consume();
+    }
+  }
+
+  // A failing attempt stops consuming but must drain its in-flight I/O
+  // before it can be destroyed (callbacks hold pointers into this object).
+  void maybe_finish_abort() {
+    if (reads_outstanding == 0 && !write_in_flight) {
+      exec->finish_task(this, /*success=*/false);
+    }
+  }
+
+  // ---- consumer ----
+
+  void consume() {
+    if (aborting) {
+      maybe_finish_abort();
+      return;
+    }
+    if (!ready_chunks.empty()) {
+      const Bytes chunk = ready_chunks.front();
+      ready_chunks.pop_front();
+      consumed += chunk;
+      if (will_fail && consumed >= fail_after) {
+        aborting = true;
+        maybe_finish_abort();
+        return;
+      }
+      issue_reads();  // keep the fetch pipeline full while computing
+      const double cpu = cpu_per_byte * static_cast<double>(chunk);
+      if (cpu > 0.0) {
+        exec->node().cpu().execute(cpu, [this, chunk] { on_compute_done(chunk); });
+      } else {
+        on_compute_done(chunk);
+      }
+      return;
+    }
+    if (reads_outstanding > 0) {
+      begin_stall(Waiting::kRead);
+      return;
+    }
+    // Input fully consumed: drain the write channel, then finish.
+    if (write_in_flight) {
+      begin_stall(Waiting::kWriteDrain);
+      return;
+    }
+    flush_and_finish();
+  }
+
+  void on_compute_done(Bytes chunk) {
+    if (aborting) {
+      maybe_finish_abort();
+      return;
+    }
+    Bytes local = 0;       // bytes written to the local disk
+    Bytes replicated = 0;  // subset forwarded to DFS replicas
+    Bytes readback = 0;    // spill bytes re-read during the merge
+
+    if (spill_per_byte > 0.0) {
+      spill_acc += spill_per_byte * static_cast<double>(chunk);
+      const Bytes spill_chunk = static_cast<Bytes>(spill_acc);
+      spill_acc -= static_cast<double>(spill_chunk);
+      local += spill_chunk;
+      readback = spill_chunk;
+    }
+
+    if (cache_out_id >= 0) {
+      cache_acc += cache_per_byte * static_cast<double>(chunk);
+      const Bytes cache_chunk = static_cast<Bytes>(cache_acc);
+      cache_acc -= static_cast<double>(cache_chunk);
+      if (cache_chunk > 0) {
+        const Bytes granted = exec->reserve_storage(cache_chunk);
+        cache_mem_written += granted;
+        const Bytes spill = cache_chunk - granted;
+        cache_spilled += spill;
+        local += spill;  // spill shares the write channel
+      }
+    }
+
+    if (sink != StageSink::kDriver) {
+      out_acc += out_per_byte * static_cast<double>(chunk);
+      const Bytes out_chunk = static_cast<Bytes>(out_acc);
+      out_acc -= static_cast<double>(out_chunk);
+      local += out_chunk;
+      if (sink == StageSink::kShuffleWrite) shuffle_written += out_chunk;
+      if (sink == StageSink::kDfsWrite) replicated = out_chunk;
+    }
+
+    if (local == 0) {
+      consume();
+      return;
+    }
+    if (write_in_flight) {
+      pending_write_local = local;
+      pending_write_replicated = replicated;
+      pending_write_readback = readback;
+      begin_stall(Waiting::kWrite);
+      return;
+    }
+    issue_write(local, replicated, readback);
+    consume();
+  }
+
+  // ---- write channel ----
+
+  void issue_write(Bytes local, Bytes replicated, Bytes readback) {
+    write_in_flight = true;
+    const double issued = now();
+    // Spill writes inherit the shuffle's scattered layout; ordinary output
+    // writes are large sequential runs (factor folded below is the bytes-
+    // weighted blend when a chunk carries both).
+    const double wf = readback > 0 ? scatter : 1.0;
+    exec->node().disk().submit(
+        local, true,
+        [this, local, replicated, readback, issued] {
+          account_bytes(local, true);
+          account_latency(issued);
+          if (readback > 0) {
+            // Merge pass: the spilled run is read back from the local disk.
+            const double rb_issued = now();
+            exec->node().disk().submit(
+                readback, false,
+                [this, replicated, readback, rb_issued] {
+                  account_bytes(readback, false);
+                  account_latency(rb_issued);
+                  replicate(replicated, 0);
+                },
+                scatter);
+          } else {
+            replicate(replicated, 0);
+          }
+        },
+        wf);
+  }
+
+  // DFS replication pipeline: forward the chunk to each extra replica
+  // (network + remote disk write), sequentially, as HDFS does.
+  void replicate(Bytes bytes, size_t replica_idx) {
+    if (bytes == 0 || replica_idx >= out_replica_nodes.size()) {
+      on_write_done();
+      return;
+    }
+    const int target = out_replica_nodes[replica_idx];
+    exec->env_.cluster->network().transfer(
+        exec->node_id_, target, bytes, [this, bytes, replica_idx, target] {
+          exec->env_.cluster->node(target).disk().submit(
+              bytes, true, [this, bytes, replica_idx] {
+                account_bytes(bytes, true);
+                replicate(bytes, replica_idx + 1);
+              });
+        });
+  }
+
+  void on_write_done() {
+    write_in_flight = false;
+    if (aborting) {
+      maybe_finish_abort();
+      return;
+    }
+    if (waiting == Waiting::kWrite) {
+      end_stall();
+      const Bytes local = pending_write_local;
+      const Bytes repl = pending_write_replicated;
+      const Bytes rb = pending_write_readback;
+      pending_write_local = pending_write_replicated = pending_write_readback = 0;
+      issue_write(local, repl, rb);
+      consume();
+    } else if (waiting == Waiting::kWriteDrain) {
+      end_stall();
+      flush_and_finish();
+    }
+  }
+
+  void flush_and_finish() {
+    if (sink == StageSink::kShuffleWrite && out_shuffle_id >= 0) {
+      exec->env_.shuffles->register_map_output(out_shuffle_id, exec->node_id_,
+                                               shuffle_written);
+    }
+    if (cache_out_id >= 0) {
+      auto& part = exec->env_.caches->partition(cache_out_id, spec.partition);
+      part.node = exec->node_id_;
+      part.mem_bytes = cache_mem_written;
+      part.spilled_bytes = cache_spilled;
+    }
+    exec->finish_task(this, /*success=*/true);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ExecutorRuntime
+// ---------------------------------------------------------------------------
+
+namespace {
+uint64_t cluster_seed_of(const EngineEnv& env, int node_id) {
+  return env.cluster->spec().seed ^ (0x9e3779b97f4a7c15ULL * (node_id + 1));
+}
+}  // namespace
+
+ExecutorRuntime::ExecutorRuntime(EngineEnv env, int node_id, int virtual_cores)
+    : env_(env),
+      node_id_(node_id),
+      virtual_cores_(virtual_cores),
+      pool_target_(virtual_cores),
+      failure_rng_(Rng(cluster_seed_of(env, node_id)).fork("task-failures")) {
+  assert(env_.sim && env_.cluster && env_.dfs && env_.shuffles && env_.caches);
+  pool_history_.record(0.0, static_cast<double>(pool_target_));
+}
+
+ExecutorRuntime::~ExecutorRuntime() = default;
+
+void ExecutorRuntime::set_pool_size(int threads) {
+  pool_target_ = std::max(1, threads);
+  pool_history_.record(env_.sim->now(), static_cast<double>(pool_target_));
+  if (env_.event_log != nullptr) {
+    env_.event_log->record(Event{EventKind::kPoolResize, env_.sim->now(), -1,
+                                 -1, -1, node_id_, pool_target_, {}});
+  }
+}
+
+adaptive::IoSample ExecutorRuntime::sample() {
+  const metrics::IoCounters& c = io_.snapshot();
+  const double now = env_.sim->now();
+  const double window = 5.0;
+  const double util =
+      env_.cluster->node(node_id_).disk().busy_tracker().utilization(
+          std::max(0.0, now - window), std::max(now, 1e-9));
+  return adaptive::IoSample{c.blocked_seconds, c.bytes_total(), util,
+                            c.tasks_completed};
+}
+
+void ExecutorRuntime::set_policy(std::unique_ptr<adaptive::ThreadPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+void ExecutorRuntime::cancel_task(int partition) {
+  for (auto& run : active_) {
+    if (run->spec.partition == partition && !run->aborting) {
+      run->aborting = true;
+      // If the attempt is parked in a stall, no callback will come; finish
+      // the abort directly. Otherwise the pending I/O/compute callback
+      // observes `aborting` and drains.
+      if (run->waiting != TaskRun::Waiting::kNone) {
+        run->maybe_finish_abort();
+      }
+    }
+  }
+}
+
+Bytes ExecutorRuntime::reserve_storage(Bytes bytes) noexcept {
+  const Bytes budget = env_.storage_budget;
+  const Bytes granted =
+      budget > 0 ? std::min(bytes, std::max<Bytes>(0, budget - storage_used_))
+                 : bytes;
+  storage_used_ += granted;
+  return granted;
+}
+
+void ExecutorRuntime::launch(const TaskSpec& spec, const Stage& stage,
+                             TaskDone on_done) {
+  ++running_;
+  if (env_.event_log != nullptr) {
+    env_.event_log->record(Event{EventKind::kTaskStart, env_.sim->now(), -1,
+                                 stage.ordinal, spec.partition, node_id_,
+                                 spec.input_bytes, {}});
+  }
+
+  auto run = std::make_unique<TaskRun>();
+  TaskRun* raw = run.get();
+  run->exec = this;
+  run->spec = spec;
+  run->on_done = std::move(on_done);
+  run->cpu_per_byte =
+      spec.input_bytes > 0
+          ? spec.cpu_seconds / static_cast<double>(spec.input_bytes)
+          : 0.0;
+  run->out_per_byte = spec.input_bytes > 0
+                          ? static_cast<double>(spec.output_bytes) /
+                                static_cast<double>(spec.input_bytes)
+                          : 0.0;
+  run->cache_per_byte = spec.input_bytes > 0
+                            ? static_cast<double>(spec.cache_bytes) /
+                                  static_cast<double>(spec.input_bytes)
+                            : 0.0;
+  run->sink = stage.sink;
+  run->out_shuffle_id = stage.out_shuffle_id;
+  run->cache_out_id = stage.cache_out_id;
+  const double failure_prob = node_id_ == env_.flaky_node
+                                  ? env_.flaky_node_failure_prob
+                                  : env_.task_failure_prob;
+  if (failure_prob > 0.0 && failure_rng_.chance(failure_prob)) {
+    run->will_fail = true;
+    run->fail_after = std::max<Bytes>(
+        1, static_cast<Bytes>(static_cast<double>(spec.input_bytes) *
+                              failure_rng_.next_double()));
+  }
+  run->fetch_cap = stage.source == StageSource::kShuffle
+                       ? std::max(1, env_.fetch_parallelism)
+                       : 1;
+  if (stage.source == StageSource::kShuffle) {
+    run->spill_per_byte = stage.spill_fraction;
+    run->scatter = stage.scatter;
+  }
+
+  // Extra DFS replicas: the next (replication-1) nodes after this one.
+  if (stage.sink == StageSink::kDfsWrite && stage.out_replication > 1) {
+    const int n = env_.cluster->size();
+    for (int i = 1; i < std::min(stage.out_replication, n); ++i) {
+      run->out_replica_nodes.push_back((node_id_ + i) % n);
+    }
+  }
+
+  // Build the input plan.
+  using Segment = TaskRun::Segment;
+  using K = TaskRun::SegmentKind;
+  switch (stage.source) {
+    case StageSource::kDfs: {
+      const dfs::FileInfo* file = env_.dfs->lookup(stage.input_path);
+      assert(file != nullptr);
+      const dfs::Block& block =
+          file->blocks[static_cast<size_t>(spec.partition)];
+      const int src = env_.dfs->choose_read_source(block, node_id_);
+      run->segments.push_back(Segment{
+          src == node_id_ ? K::kLocalDisk : K::kRemote, src, block.size});
+      break;
+    }
+    case StageSource::kShuffle: {
+      for (const int sid : stage.in_shuffle_ids) {
+        const std::vector<Bytes> plan =
+            env_.shuffles->fetch_plan(sid, spec.partition, stage.num_tasks);
+        // Local share first, then remote nodes in rotating order so fetch
+        // load spreads evenly.
+        const int n = env_.cluster->size();
+        for (int i = 0; i < n; ++i) {
+          const int src = (node_id_ + i) % n;
+          const Bytes bytes = plan[static_cast<size_t>(src)];
+          if (bytes == 0) continue;
+          if (src == node_id_) {
+            // A slice of freshly written local map output is still in the
+            // OS page cache.
+            const Bytes cached = static_cast<Bytes>(
+                static_cast<double>(bytes) * env_.shuffle_cache_fraction);
+            if (cached > 0) {
+              run->segments.push_back(Segment{K::kMemory, src, cached});
+            }
+            run->segments.push_back(
+                Segment{K::kLocalDisk, src, bytes - cached});
+          } else {
+            run->segments.push_back(Segment{K::kRemote, src, bytes});
+          }
+        }
+      }
+      break;
+    }
+    case StageSource::kCached: {
+      const auto& part =
+          env_.caches->partition(stage.in_cache_id, spec.partition);
+      if (part.node == node_id_) {
+        run->segments.push_back(Segment{K::kMemory, node_id_, part.mem_bytes});
+        if (part.spilled_bytes > 0) {
+          run->segments.push_back(
+              Segment{K::kLocalDisk, node_id_, part.spilled_bytes});
+        }
+      } else {
+        run->segments.push_back(
+            Segment{K::kNetOnly, part.node, part.mem_bytes});
+        if (part.spilled_bytes > 0) {
+          run->segments.push_back(
+              Segment{K::kRemote, part.node, part.spilled_bytes});
+        }
+      }
+      break;
+    }
+    case StageSource::kNone:
+      break;
+  }
+
+  active_.push_back(std::move(run));
+  // Tasks with no input at all still take a scheduling round-trip.
+  if (raw->segments.empty()) {
+    env_.sim->schedule_after(0.0, [raw] { raw->flush_and_finish(); });
+  } else {
+    raw->start();
+  }
+}
+
+void ExecutorRuntime::finish_task(TaskRun* run, bool success) {
+  --running_;
+  const double now = env_.sim->now();
+  const TaskSpec spec = run->spec;
+  TaskDone on_done = std::move(run->on_done);
+
+  active_.remove_if(
+      [run](const std::unique_ptr<TaskRun>& p) { return p.get() == run; });
+
+  if (env_.event_log != nullptr) {
+    env_.event_log->record(
+        Event{success ? EventKind::kTaskEnd : EventKind::kTaskFailed, now, -1,
+              -1, spec.partition, node_id_, spec.input_bytes, {}});
+  }
+  if (success) {
+    // Failed attempts neither advance the tuning interval nor count as
+    // completions; the driver re-launches them.
+    io_.task_completed();
+    if (policy_) policy_->on_task_complete(now);
+  }
+  if (on_done) on_done(spec, success);
+}
+
+}  // namespace saex::engine

@@ -1,0 +1,61 @@
+#include "engine/report.h"
+
+#include <sstream>
+
+#include "common/format.h"
+#include "common/table.h"
+
+namespace saex::engine {
+
+std::string JobReport::render() const {
+  std::ostringstream out;
+  out << strfmt::format("application: {}   policy: {}   runtime: {}\n",
+                        app_name, policy_name, format_duration(total_runtime));
+  out << strfmt::format("input: {}   total disk I/O: {} ({:.0f}% of input)\n",
+                        format_bytes(input_bytes),
+                        format_bytes(total_disk_bytes),
+                        input_bytes > 0
+                            ? 100.0 * static_cast<double>(total_disk_bytes) /
+                                  static_cast<double>(input_bytes)
+                            : 0.0);
+
+  TextTable t({"stage", "name", "io", "tasks", "time", "threads", "cpu%",
+               "disk%", "iowait%", "task p50/p95", "read", "written", "net"});
+  for (const StageStats& s : stages) {
+    t.add_row({strfmt::format("{}", s.ordinal), s.name,
+               s.io_tagged ? "yes" : "no", strfmt::format("{}", s.num_tasks),
+               format_duration(s.duration()),
+               strfmt::format("{}", s.threads_total),
+               format_percent(s.cpu_utilization),
+               format_percent(s.disk_utilization),
+               format_percent(s.iowait_fraction),
+               strfmt::format("{:.1f}/{:.1f}s", s.task_p50, s.task_p95),
+               format_bytes(s.disk_read),
+               format_bytes(s.disk_written), format_bytes(s.net_bytes)});
+  }
+  out << t.render();
+  return out.str();
+}
+
+std::string JobReport::to_csv() const {
+  std::ostringstream out;
+  out << "app,policy,stage,name,io_tagged,tasks,start_s,end_s,duration_s,"
+         "threads_total,cpu_util,disk_util,iowait,task_p50_s,task_p95_s,"
+         "disk_read_bytes,disk_written_bytes,net_bytes\n";
+  for (const StageStats& s : stages) {
+    std::string name = s.name;
+    for (char& c : name) {
+      if (c == ',') c = ';';
+    }
+    out << strfmt::format(
+        "{},{},{},{},{},{},{:.3f},{:.3f},{:.3f},{},{:.4f},{:.4f},{:.4f},"
+        "{:.3f},{:.3f},{},{},{}\n",
+        app_name, policy_name, s.ordinal, name, s.io_tagged ? 1 : 0,
+        s.num_tasks, s.start_time, s.end_time, s.duration(), s.threads_total,
+        s.cpu_utilization, s.disk_utilization, s.iowait_fraction, s.task_p50,
+        s.task_p95, s.disk_read, s.disk_written, s.net_bytes);
+  }
+  return out.str();
+}
+
+}  // namespace saex::engine

@@ -1,0 +1,62 @@
+// Per-stage and per-job measurement rollups — the quantities the paper's
+// figures are drawn from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace saex::engine {
+
+struct ExecutorStageStats {
+  int node = 0;
+  int threads_settled = 0;       // pool size when the stage ended
+  double blocked_seconds = 0.0;  // ε accrued during this stage
+  Bytes io_bytes = 0;            // bytes moved by this executor's tasks
+};
+
+struct StageStats {
+  int ordinal = 0;
+  std::string name;
+  bool io_tagged = false;
+  int num_tasks = 0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+
+  Bytes input_bytes = 0;
+  Bytes disk_read = 0;      // cluster-wide during the stage
+  Bytes disk_written = 0;
+  Bytes net_bytes = 0;
+
+  double cpu_utilization = 0.0;   // mean over nodes (Fig. 1 bar height)
+  double disk_utilization = 0.0;  // mean over nodes (Fig. 5)
+  double iowait_fraction = 0.0;   // mpstat-style iowait (Fig. 1 color)
+
+  int threads_total = 0;  // Σ executors' settled threads (Fig. 8 labels)
+  // Task duration distribution (successful attempts).
+  double task_p50 = 0.0;
+  double task_p95 = 0.0;
+  double task_max = 0.0;
+  std::vector<ExecutorStageStats> executors;
+
+  double duration() const noexcept { return end_time - start_time; }
+};
+
+struct JobReport {
+  std::string app_name;
+  std::string policy_name;
+  double total_runtime = 0.0;
+  Bytes input_bytes = 0;
+  Bytes total_disk_bytes = 0;  // Table 2's "I/O activity"
+  std::vector<StageStats> stages;
+
+  /// Multi-line human-readable summary (stage table + totals).
+  std::string render() const;
+
+  /// Machine-readable per-stage rows (header + one line per stage) for
+  /// spreadsheet/pandas analysis.
+  std::string to_csv() const;
+};
+
+}  // namespace saex::engine

@@ -1,0 +1,43 @@
+#include "engine/shuffle.h"
+
+#include <cassert>
+
+namespace saex::engine {
+
+void ShuffleManager::register_map_output(int shuffle_id, int node, Bytes bytes) {
+  assert(node >= 0 && node < num_nodes_);
+  auto& per_node = outputs_[shuffle_id];
+  per_node.resize(static_cast<size_t>(num_nodes_), 0);
+  per_node[static_cast<size_t>(node)] += bytes;
+}
+
+std::vector<Bytes> ShuffleManager::fetch_plan(int shuffle_id, int partition,
+                                              int num_partitions) const {
+  assert(partition >= 0 && partition < num_partitions);
+  std::vector<Bytes> plan(static_cast<size_t>(num_nodes_), 0);
+  const auto it = outputs_.find(shuffle_id);
+  if (it == outputs_.end()) return plan;
+  for (int n = 0; n < num_nodes_; ++n) {
+    const Bytes total = it->second[static_cast<size_t>(n)];
+    const Bytes base = total / num_partitions;
+    const Bytes rem = total % num_partitions;
+    plan[static_cast<size_t>(n)] = base + (partition < rem ? 1 : 0);
+  }
+  return plan;
+}
+
+Bytes ShuffleManager::total_output(int shuffle_id) const noexcept {
+  const auto it = outputs_.find(shuffle_id);
+  if (it == outputs_.end()) return 0;
+  Bytes total = 0;
+  for (Bytes b : it->second) total += b;
+  return total;
+}
+
+Bytes ShuffleManager::node_output(int shuffle_id, int node) const noexcept {
+  const auto it = outputs_.find(shuffle_id);
+  if (it == outputs_.end()) return 0;
+  return it->second[static_cast<size_t>(node)];
+}
+
+}  // namespace saex::engine

@@ -1,0 +1,39 @@
+// Shuffle bookkeeping: map-output registry and reduce-side fetch planning.
+//
+// Map tasks write their shuffle output to the local disk (like Spark's
+// sort-based shuffle) and register the byte count here. A reduce task for
+// partition r fetches 1/R of every map node's output: the local share is a
+// disk read, remote shares are a remote disk read + network transfer.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace saex::engine {
+
+class ShuffleManager {
+ public:
+  explicit ShuffleManager(int num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Accumulates shuffle bytes written by map tasks on `node`.
+  void register_map_output(int shuffle_id, int node, Bytes bytes);
+
+  /// Bytes reduce partition `partition` (of `num_partitions`) must fetch
+  /// from each node. Deterministic: remainder bytes go to low partitions.
+  std::vector<Bytes> fetch_plan(int shuffle_id, int partition,
+                                int num_partitions) const;
+
+  Bytes total_output(int shuffle_id) const noexcept;
+  Bytes node_output(int shuffle_id, int node) const noexcept;
+  bool has_shuffle(int shuffle_id) const noexcept {
+    return outputs_.find(shuffle_id) != outputs_.end();
+  }
+
+ private:
+  int num_nodes_;
+  std::map<int, std::vector<Bytes>> outputs_;  // shuffle id -> per-node bytes
+};
+
+}  // namespace saex::engine

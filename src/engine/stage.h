@@ -1,0 +1,64 @@
+// Physical stages and task specifications produced by the DAG scheduler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace saex::engine {
+
+enum class StageSource { kDfs, kShuffle, kCached, kNone };
+enum class StageSink { kShuffleWrite, kDfsWrite, kDriver };
+
+struct Stage {
+  int uid = 0;       // unique across the application
+  int ordinal = 0;   // execution position within the job (paper's stage number)
+  std::string name;
+  bool io_tagged = false;  // §4: reads or writes the DFS
+
+  StageSource source = StageSource::kNone;
+  std::string input_path;              // kDfs
+  std::vector<int> in_shuffle_ids;     // kShuffle (two for joins)
+  int in_cache_id = -1;                // kCached
+
+  int num_tasks = 0;
+  Bytes input_bytes = 0;  // statically propagated total
+
+  // Reduce-side physical traits of the consumed shuffle (see ShuffleTraits).
+  double spill_fraction = 0.0;
+  double scatter = 1.0;
+
+  // Pipelined cost aggregate over the stage's narrow chain.
+  double cpu_seconds_per_input_mib = 0.0;
+  double output_ratio = 1.0;  // stage output bytes / stage input bytes
+
+  // Mid-chain cache materialization (bytes relative to stage input).
+  int cache_out_id = -1;
+  double cache_ratio = 0.0;
+
+  StageSink sink = StageSink::kDriver;
+  int out_shuffle_id = -1;
+  std::string out_path;
+  int out_replication = 1;
+
+  std::vector<int> parent_uids;
+
+  Bytes output_bytes() const noexcept {
+    return static_cast<Bytes>(static_cast<double>(input_bytes) * output_ratio);
+  }
+};
+
+/// One schedulable unit: processes one partition of a stage.
+struct TaskSpec {
+  int stage_uid = 0;
+  int partition = 0;
+  Bytes input_bytes = 0;
+  double cpu_seconds = 0.0;
+  Bytes output_bytes = 0;
+  Bytes cache_bytes = 0;
+  // Preferred nodes (block replicas); empty = no locality preference.
+  std::vector<int> preferred_nodes;
+};
+
+}  // namespace saex::engine

@@ -1,0 +1,288 @@
+#include "engine/task_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "common/stats.h"
+
+namespace saex::engine {
+
+TaskScheduler::TaskScheduler(sim::Simulation& sim,
+                             std::vector<ExecutorRuntime*> executors,
+                             Options options)
+    : sim_(sim), options_(options) {
+  execs_.reserve(executors.size());
+  for (ExecutorRuntime* e : executors) {
+    execs_.push_back(ExecState{e, e->pool_size(), 0});
+  }
+}
+
+int TaskScheduler::total_assigned() const noexcept {
+  int total = 0;
+  for (const ExecState& es : execs_) total += es.assigned;
+  return total;
+}
+
+void TaskScheduler::run_stage(const Stage& stage, std::vector<TaskSpec> tasks,
+                              std::function<void()> on_done) {
+  assert(stage_ == nullptr && "a stage is already in flight");
+  stage_ = &stage;
+  tasks_ = std::move(tasks);
+  state_.assign(tasks_.size(), TaskState{});
+  completed_durations_.clear();
+  remaining_ = tasks_.size();
+  stage_failed_ = false;
+  on_done_ = std::move(on_done);
+
+  stage_start_time_ = sim_.now();
+  locality_timer_armed_ = false;
+
+  // Refresh advertised sizes: stage-start policies resized synchronously
+  // before the stage was submitted.
+  for (ExecState& es : execs_) {
+    es.advertised = es.exec->pool_size();
+    es.assigned = 0;
+    es.stage_failures = 0;
+    es.blacklisted = false;
+  }
+
+  if (remaining_ == 0) {
+    stage_ = nullptr;
+    auto done = std::move(on_done_);
+    sim_.schedule_after(0.0, std::move(done));
+    return;
+  }
+  try_assign();
+  schedule_speculation_check();
+}
+
+// Stragglers are detected by polling (spark.speculation.interval), not only
+// at task completions — at the end of a wave there may be no completions
+// left to trigger the check.
+void TaskScheduler::schedule_speculation_check() {
+  if (!options_.speculation || stage_ == nullptr) return;
+  sim_.schedule_after(options_.speculation_interval, [this] {
+    if (stage_ == nullptr) return;
+    try_assign();
+    schedule_speculation_check();
+  });
+}
+
+int TaskScheduler::blacklisted_executors() const noexcept {
+  int n = 0;
+  for (const ExecState& es : execs_) n += es.blacklisted ? 1 : 0;
+  return n;
+}
+
+std::optional<size_t> TaskScheduler::pick_task_for(size_t exec_idx) {
+  // Locality first: a pending task preferring this node. Tasks preferring
+  // *other* nodes are stolen only after the delay-scheduling window
+  // (spark.locality.wait) expires; preference-free tasks are always fair
+  // game. Finally, a speculative duplicate of a straggler.
+  const int node_id = execs_[exec_idx].exec->node_id();
+  const bool wait_over =
+      sim_.now() - stage_start_time_ >= options_.locality_wait;
+  std::optional<size_t> any;
+  bool deferred = false;
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    const TaskState& st = state_[i];
+    if (st.done || st.running_copies > 0) continue;
+    const auto& pref = tasks_[i].preferred_nodes;
+    if (pref.empty()) {
+      if (!any) any = i;
+      continue;
+    }
+    if (std::find(pref.begin(), pref.end(), node_id) != pref.end()) return i;
+    if (wait_over) {
+      if (!any) any = i;
+    } else {
+      deferred = true;
+    }
+  }
+  if (!any && deferred && !locality_timer_armed_) {
+    // Re-offer once the locality window closes, or nothing would wake us.
+    locality_timer_armed_ = true;
+    const double remaining =
+        stage_start_time_ + options_.locality_wait - sim_.now();
+    sim_.schedule_after(std::max(remaining, 0.0), [this] {
+      locality_timer_armed_ = false;
+      try_assign();
+    });
+  }
+  if (any) return any;
+
+  if (options_.speculation &&
+      completed_durations_.size() >=
+          options_.speculation_quantile * static_cast<double>(tasks_.size())) {
+    const double median = percentile(completed_durations_, 0.5);
+    const double now = sim_.now();
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      const TaskState& st = state_[i];
+      if (st.done || st.running_copies != 1) continue;
+      // Never duplicate onto the executor already running the straggler —
+      // typically the slow node itself.
+      if (std::find(st.copy_execs.begin(), st.copy_execs.end(), exec_idx) !=
+          st.copy_execs.end()) {
+        continue;
+      }
+      if (now - st.launch_time > options_.speculation_multiplier * median) {
+        return i;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void TaskScheduler::try_assign() {
+  if (stage_ == nullptr) return;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t e = 0; e < execs_.size(); ++e) {
+      ExecState& es = execs_[e];
+      if (es.blacklisted || es.assigned >= es.advertised) continue;
+      const auto task = pick_task_for(e);
+      if (!task) continue;  // nothing pending or speculatable for this one
+      dispatch(*task, e, state_[*task].running_copies > 0);
+      progress = true;
+    }
+  }
+}
+
+void TaskScheduler::dispatch(size_t task_idx, size_t exec_idx,
+                             bool speculative) {
+  TaskState& st = state_[task_idx];
+  if (st.running_copies == 0) st.launch_time = sim_.now();
+  ++st.running_copies;
+  ++st.attempts;
+  st.copy_execs.push_back(exec_idx);
+  if (speculative) {
+    ++speculative_launches_;
+    if (options_.event_log != nullptr) {
+      options_.event_log->record(
+          Event{EventKind::kSpeculativeLaunch, sim_.now(), -1,
+                stage_->ordinal, static_cast<int>(task_idx),
+                execs_[exec_idx].exec->node_id(), 0, {}});
+    }
+    SAEX_DEBUG("speculative copy of task {} on executor {}", task_idx,
+               execs_[exec_idx].exec->node_id());
+  }
+
+  ExecState& es = execs_[exec_idx];
+  ++es.assigned;
+  const TaskSpec spec = tasks_[task_idx];
+  const Stage* stage = stage_;
+  // LaunchTask message: driver → executor.
+  sim_.schedule_after(options_.message_latency, [this, spec, stage, exec_idx] {
+    execs_[exec_idx].exec->launch(
+        spec, *stage, [this, exec_idx](const TaskSpec& s, bool success) {
+          // StatusUpdate message: executor → driver.
+          sim_.schedule_after(options_.message_latency, [this, s, exec_idx,
+                                                         success] {
+            on_task_finished(s, exec_idx, success);
+          });
+        });
+  });
+}
+
+void TaskScheduler::on_task_finished(const TaskSpec& spec, size_t exec_idx,
+                                     bool success) {
+  ExecState& es = execs_[exec_idx];
+  --es.assigned;
+
+  // Stage may have been aborted while this copy was in flight.
+  if (stage_ == nullptr) return;
+
+  TaskState& st = state_[static_cast<size_t>(spec.partition)];
+  --st.running_copies;
+  if (const auto it = std::find(st.copy_execs.begin(), st.copy_execs.end(),
+                                exec_idx);
+      it != st.copy_execs.end()) {
+    st.copy_execs.erase(it);
+  }
+
+  if (st.done) {
+    // A speculative duplicate finished after the winner: ignore the result.
+    maybe_finish_stage();
+    try_assign();
+    return;
+  }
+
+  if (success) {
+    st.done = true;
+    completed_durations_.push_back(sim_.now() - st.launch_time);
+    assert(remaining_ > 0);
+    --remaining_;
+    // Kill losing speculative copies so the stage does not wait for them.
+    for (const size_t e : st.copy_execs) {
+      execs_[e].exec->cancel_task(spec.partition);
+    }
+  } else if (options_.blacklist_enabled &&
+             ++es.stage_failures >= options_.max_failed_tasks_per_executor &&
+             !es.blacklisted && st.attempts < options_.max_task_failures) {
+    es.blacklisted = true;
+    SAEX_WARN("executor {} blacklisted for stage {} after {} failures",
+              es.exec->node_id(), stage_->ordinal, es.stage_failures);
+  } else if (st.attempts >= options_.max_task_failures &&
+             st.running_copies == 0) {
+    SAEX_WARN("task {} of stage {} failed {} times; aborting stage",
+              spec.partition, stage_->ordinal, st.attempts);
+    stage_failed_ = true;
+    // Drain: remaining copies of other tasks finish, then on_done fires.
+    remaining_ = 0;
+    for (TaskState& other : state_) {
+      if (!other.done) other.done = true;
+    }
+  }
+  // else: attempt failed with budget left — the task is pending again
+  // (running_copies just returned to 0) and try_assign re-launches it.
+
+  maybe_finish_stage();
+  try_assign();
+}
+
+void TaskScheduler::maybe_finish_stage() {
+  if (stage_ == nullptr || remaining_ > 0 || total_assigned() > 0) return;
+  stage_ = nullptr;
+  auto done = std::move(on_done_);
+  on_done_ = nullptr;
+  if (done) done();
+}
+
+void TaskScheduler::on_executor_resized(int node_id, int new_size) {
+  for (ExecState& es : execs_) {
+    if (es.exec->node_id() == node_id) {
+      SAEX_TRACE("scheduler: executor {} advertised {} -> {}", node_id,
+                 es.advertised, new_size);
+      es.advertised = new_size;
+      break;
+    }
+  }
+  try_assign();
+}
+
+adaptive::SchedulerNotifier TaskScheduler::make_notifier(int node_id) {
+  return [this, node_id](int new_size) {
+    // ThreadPoolResized message: executor → driver.
+    sim_.schedule_after(options_.message_latency, [this, node_id, new_size] {
+      on_executor_resized(node_id, new_size);
+    });
+  };
+}
+
+int TaskScheduler::advertised_size(int node_id) const {
+  for (const ExecState& es : execs_) {
+    if (es.exec->node_id() == node_id) return es.advertised;
+  }
+  return -1;
+}
+
+int TaskScheduler::assigned_count(int node_id) const {
+  for (const ExecState& es : execs_) {
+    if (es.exec->node_id() == node_id) return es.assigned;
+  }
+  return -1;
+}
+
+}  // namespace saex::engine

@@ -1,0 +1,126 @@
+// Driver-side task scheduler.
+//
+// Mirrors Spark's TaskSchedulerImpl: it tracks each executor's advertised
+// pool size and currently assigned tasks, offers tasks locality-first, and
+// assigns greedily as slots free up. All driver↔executor interactions cross
+// a message boundary with a small latency, including the protocol extension
+// the paper adds in §5.4: ThreadPoolResized(executor, newSize), without
+// which the driver's free-core registry would diverge from the executor's
+// actual capacity after an adaptive resize.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "adaptive/types.h"
+#include "engine/event_log.h"
+#include "engine/executor_runtime.h"
+#include "engine/stage.h"
+#include "sim/simulation.h"
+
+namespace saex::engine {
+
+class TaskScheduler {
+ public:
+  struct Options {
+    double message_latency = 0.0005;
+    // Fault tolerance (spark.task.maxFailures): attempts per task before the
+    // stage is aborted.
+    int max_task_failures = 4;
+    // Speculative execution (spark.speculation.*): once `quantile` of the
+    // stage's tasks finished, a task running longer than `multiplier` x the
+    // median successful duration gets a duplicate attempt; the first
+    // completion wins.
+    bool speculation = false;
+    double speculation_multiplier = 1.5;
+    double speculation_quantile = 0.75;
+    double speculation_interval = 0.1;  // spark.speculation.interval
+    // Delay scheduling (spark.locality.wait): an executor defers stealing a
+    // task that prefers other nodes until this long after the stage start.
+    double locality_wait = 3.0;
+    // Blacklisting (spark.blacklist.*): after this many failed attempts on
+    // one executor within a stage, that executor gets no more of its tasks.
+    bool blacklist_enabled = false;
+    int max_failed_tasks_per_executor = 2;
+    EventLog* event_log = nullptr;
+  };
+
+  TaskScheduler(sim::Simulation& sim, std::vector<ExecutorRuntime*> executors,
+                Options options);
+  // Separate overload: Options' default member initializers are not usable
+  // as a default argument inside the enclosing class definition.
+  TaskScheduler(sim::Simulation& sim, std::vector<ExecutorRuntime*> executors)
+      : TaskScheduler(sim, std::move(executors), Options{}) {}
+
+  /// Runs one stage to completion; only one stage may be in flight.
+  /// Policies must have been notified of the stage start already (their
+  /// initial pool sizes are read here). Tasks that fail are retried up to
+  /// max_task_failures times; exhausting the budget aborts the stage
+  /// (stage_failed() returns true when on_done fires).
+  void run_stage(const Stage& stage, std::vector<TaskSpec> tasks,
+                 std::function<void()> on_done);
+
+  /// True when the last stage ended because a task ran out of attempts.
+  bool stage_failed() const noexcept { return stage_failed_; }
+  int speculative_launches() const noexcept { return speculative_launches_; }
+  /// Executors currently blacklisted for the in-flight stage.
+  int blacklisted_executors() const noexcept;
+  /// Successful task durations of the last (or current) stage.
+  const std::vector<double>& completed_durations() const noexcept {
+    return completed_durations_;
+  }
+
+  /// The §5.4 protocol extension: executor → driver resize notification.
+  /// Public for tests; normally invoked via make_notifier().
+  void on_executor_resized(int node_id, int new_size);
+
+  /// Builds the SchedulerNotifier an executor's policy calls on resize; it
+  /// delivers on_executor_resized after the message latency.
+  adaptive::SchedulerNotifier make_notifier(int node_id);
+
+  int advertised_size(int node_id) const;
+  int assigned_count(int node_id) const;
+
+ private:
+  struct ExecState {
+    ExecutorRuntime* exec;
+    int advertised = 0;
+    int assigned = 0;
+    int stage_failures = 0;  // failed attempts this stage (blacklisting)
+    bool blacklisted = false;
+  };
+
+  struct TaskState {
+    int attempts = 0;
+    int running_copies = 0;
+    bool done = false;
+    double launch_time = 0.0;        // of the oldest running copy
+    std::vector<size_t> copy_execs;  // executors currently running a copy
+  };
+
+  void try_assign();
+  std::optional<size_t> pick_task_for(size_t exec_idx);
+  void dispatch(size_t task_idx, size_t exec_idx, bool speculative);
+  void on_task_finished(const TaskSpec& spec, size_t exec_idx, bool success);
+  void maybe_finish_stage();
+  void schedule_speculation_check();
+  int total_assigned() const noexcept;
+
+  sim::Simulation& sim_;
+  std::vector<ExecState> execs_;
+  Options options_;
+
+  const Stage* stage_ = nullptr;
+  double stage_start_time_ = 0.0;
+  bool locality_timer_armed_ = false;
+  std::vector<TaskSpec> tasks_;
+  std::vector<TaskState> state_;
+  std::vector<double> completed_durations_;
+  size_t remaining_ = 0;
+  bool stage_failed_ = false;
+  int speculative_launches_ = 0;
+  std::function<void()> on_done_;
+};
+
+}  // namespace saex::engine

@@ -1,0 +1,66 @@
+// The simulated cluster: nodes + interconnect + the shared event loop.
+//
+// Mirrors the paper's DAS-5 testbed (§6.1): N nodes, 32 virtual cores and
+// 56 GB each, one 7'200 rpm HDD (or SSD for §6.3), connected by 10 GbE.
+// Per-node speed factors model the I/O performance variability the paper
+// measures across physically identical machines (Fig. 3, limitation L4).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "hw/network.h"
+#include "hw/node.h"
+#include "sim/simulation.h"
+
+namespace saex::hw {
+
+struct ClusterSpec {
+  int num_nodes = 4;
+  int cores_per_node = 32;  // 16 physical, 32 with SMT
+  Bytes memory_per_node = gib(56);
+  DiskParams disk = DiskParams::hdd();
+  NetworkParams network = {};
+
+  // Heterogeneity: disk speed factors ~ LogNormal(0, sigma), plus a small
+  // probability of a markedly slow device (aging disk / remapped sectors),
+  // which reproduces the outliers in Fig. 3.
+  double disk_sigma = 0.09;
+  double slow_disk_prob = 0.05;
+  double slow_disk_factor = 0.62;
+  double cpu_sigma = 0.015;
+
+  uint64_t seed = 42;
+
+  static ClusterSpec das5(int nodes = 4);
+  static ClusterSpec das5_ssd(int nodes = 4);
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulation& sim() noexcept { return sim_; }
+  Network& network() noexcept { return *network_; }
+
+  int size() const noexcept { return static_cast<int>(nodes_.size()); }
+  Node& node(int id) noexcept { return *nodes_[static_cast<size_t>(id)]; }
+  const Node& node(int id) const noexcept { return *nodes_[static_cast<size_t>(id)]; }
+
+  const ClusterSpec& spec() const noexcept { return spec_; }
+
+  /// Aggregate disk traffic across nodes (Table 2's "I/O activity").
+  Bytes total_disk_bytes() const noexcept;
+
+ private:
+  ClusterSpec spec_;
+  sim::Simulation sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<Network> network_;
+};
+
+}  // namespace saex::hw

@@ -1,0 +1,124 @@
+#include "hw/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace saex::hw {
+
+Network::Network(sim::Simulation& sim, int num_nodes, NetworkParams params)
+    : sim_(sim),
+      params_(params),
+      up_count_(static_cast<size_t>(num_nodes), 0),
+      down_count_(static_cast<size_t>(num_nodes), 0),
+      open_(static_cast<size_t>(num_nodes),
+            std::vector<int>(static_cast<size_t>(num_nodes), 0)),
+      sent_(static_cast<size_t>(num_nodes), 0) {}
+
+void Network::register_fetch(NodeId src, NodeId dst) {
+  ++open_[static_cast<size_t>(dst)][static_cast<size_t>(src)];
+}
+
+void Network::unregister_fetch(NodeId src, NodeId dst) {
+  --open_[static_cast<size_t>(dst)][static_cast<size_t>(src)];
+}
+
+int Network::fetches_to(NodeId dst) const noexcept {
+  int total = 0;
+  for (const int n : open_[static_cast<size_t>(dst)]) total += n;
+  return total;
+}
+
+int Network::senders_to(NodeId dst) const noexcept {
+  int senders = 0;
+  for (const int n : open_[static_cast<size_t>(dst)]) senders += n > 0 ? 1 : 0;
+  return senders;
+}
+
+double Network::down_capacity_eff(int senders, int open_requests) const noexcept {
+  const double src_excess = std::max(
+      0.0, static_cast<double>(senders) - params_.incast_src_threshold);
+  const double flow_excess = std::max(
+      0.0, static_cast<double>(open_requests) - params_.incast_flow_threshold);
+  return params_.down_bw /
+         (1.0 + params_.incast_coeff * src_excess * flow_excess);
+}
+
+double Network::flow_rate(const Flow& f) const noexcept {
+  const int n_up = up_count_[static_cast<size_t>(f.src)];
+  const int n_down = down_count_[static_cast<size_t>(f.dst)];
+  assert(n_up > 0 && n_down > 0);
+  const double up_share = params_.up_bw / static_cast<double>(n_up);
+  const double down_share =
+      down_capacity_eff(senders_to(f.dst),
+                        std::max(n_down, fetches_to(f.dst))) /
+      static_cast<double>(n_down);
+  return std::min({up_share, down_share, params_.per_flow_cap});
+}
+
+void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
+                       std::function<void()> done) {
+  assert(src != dst && "local data must not cross the network");
+  assert(bytes >= 0);
+  if (bytes == 0) {
+    sim_.schedule_after(params_.latency, std::move(done));
+    return;
+  }
+  const uint64_t id = next_flow_id_++;
+  sim_.schedule_after(params_.latency, [this, id, src, dst, bytes,
+                                        done = std::move(done)]() mutable {
+    advance_and_reschedule();
+    flows_.emplace(id, Flow{src, dst, static_cast<double>(bytes), std::move(done)});
+    ++up_count_[static_cast<size_t>(src)];
+    ++down_count_[static_cast<size_t>(dst)];
+    ++open_[static_cast<size_t>(dst)][static_cast<size_t>(src)];
+    sent_[static_cast<size_t>(src)] += bytes;
+    total_bytes_ += bytes;
+    advance_and_reschedule();
+  });
+}
+
+void Network::advance_and_reschedule() {
+  const double now = sim_.now();
+  const double dt = now - last_advance_;
+  if (dt > 0.0) {
+    for (auto& [id, f] : flows_) f.remaining -= flow_rate(f) * dt;
+  }
+  last_advance_ = now;
+
+  if (pending_completion_ != sim::kInvalidEvent) {
+    sim_.cancel(pending_completion_);
+    pending_completion_ = sim::kInvalidEvent;
+  }
+
+  // Half-byte completion threshold + floored wake-up: see Disk for why
+  // sub-byte tails must not schedule zero-advance events.
+  std::vector<std::function<void()>> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= 0.5) {
+      --up_count_[static_cast<size_t>(it->second.src)];
+      --down_count_[static_cast<size_t>(it->second.dst)];
+      --open_[static_cast<size_t>(it->second.dst)][static_cast<size_t>(it->second.src)];
+      finished.push_back(std::move(it->second.done));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (!flows_.empty()) {
+    double min_time = std::numeric_limits<double>::infinity();
+    for (const auto& [id, f] : flows_) {
+      min_time = std::min(min_time, f.remaining / flow_rate(f));
+    }
+    pending_completion_ = sim_.schedule_after(std::max(min_time, 1e-9), [this] {
+      pending_completion_ = sim::kInvalidEvent;
+      advance_and_reschedule();
+    });
+  }
+
+  for (auto& fn : finished) fn();
+}
+
+}  // namespace saex::hw

@@ -1,0 +1,106 @@
+// Cluster interconnect model.
+//
+// Flows between nodes share per-node uplink/downlink capacity. A flow's rate
+// is min(fair uplink share at the source, fair downlink share at the
+// destination, a per-stream cap). Downlinks additionally suffer an *incast*
+// goodput collapse when MANY DISTINCT SENDERS converge at HIGH request
+// concurrency (synchronized bursts overflowing the switch port buffer):
+//
+//   penalty = 1 + coeff * max(0, senders - src_threshold)
+//                       * max(0, open_requests - flow_threshold)
+//
+// Both factors are required: a 4-node cluster can never exceed 3 senders
+// per port (no collapse at any thread count), while a 16-node cluster at
+// the default 32 threads has ~15 senders x ~30 open fetches and collapses —
+// the paper's Fig. 9 observation that the default configuration does not
+// scale while the tuned ones do.
+//
+// Like the disk, the model is event-driven: rates are piecewise constant
+// between flow arrivals/departures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace saex::hw {
+
+struct NetworkParams {
+  double up_bw = 1.25e9;    // 10 GbE per node
+  double down_bw = 1.25e9;
+  double incast_src_threshold = 6.0;    // distinct senders before collapse
+  double incast_flow_threshold = 12.0;  // open requests before collapse
+  double incast_coeff = 0.15;           // collapse slope (product form)
+  // A single request-response stream cannot saturate the link (TCP windows,
+  // shuffle-server round trips); it tops out here. Makes low-thread-count
+  // fetch stages latency-bound, as measured in the paper's Fig. 7c.
+  double per_flow_cap = 30e6;
+  // Per-transfer setup cost: connection/request round trips plus the
+  // shuffle server's block lookup. Significant for small chunked fetches.
+  double latency = 0.02;
+};
+
+class Network {
+ public:
+  using NodeId = int;
+
+  Network(sim::Simulation& sim, int num_nodes, NetworkParams params);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Starts a flow; `done` fires at completion. src == dst is invalid
+  /// (local data never crosses the network).
+  void transfer(NodeId src, NodeId dst, Bytes bytes, std::function<void()> done);
+
+  /// Fetch-connection accounting: a shuffle/remote-read request holds its
+  /// connection open while the server reads the block from disk, so the
+  /// congestion (incast) level of a downlink counts registered fetches, not
+  /// just in-flight byte transfers.
+  void register_fetch(NodeId src, NodeId dst);
+  void unregister_fetch(NodeId src, NodeId dst);
+  int fetches_to(NodeId dst) const noexcept;
+  int senders_to(NodeId dst) const noexcept;
+
+  int flows_from(NodeId n) const noexcept { return up_count_[static_cast<size_t>(n)]; }
+  int flows_to(NodeId n) const noexcept { return down_count_[static_cast<size_t>(n)]; }
+  int active_flows() const noexcept { return static_cast<int>(flows_.size()); }
+
+  Bytes bytes_sent(NodeId n) const noexcept { return sent_[static_cast<size_t>(n)]; }
+  Bytes total_bytes() const noexcept { return total_bytes_; }
+
+  /// Effective downlink capacity with `senders` distinct sources holding
+  /// `open_requests` concurrent requests (for tests).
+  double down_capacity_eff(int senders, int open_requests) const noexcept;
+
+  const NetworkParams& params() const noexcept { return params_; }
+
+ private:
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    double remaining;  // bytes
+    std::function<void()> done;
+  };
+
+  double flow_rate(const Flow& f) const noexcept;
+  void advance_and_reschedule();
+
+  sim::Simulation& sim_;
+  NetworkParams params_;
+  std::unordered_map<uint64_t, Flow> flows_;
+  uint64_t next_flow_id_ = 1;
+  std::vector<int> up_count_;
+  std::vector<int> down_count_;
+  // open_[dst][src]: open requests (registered fetches + active transfers).
+  std::vector<std::vector<int>> open_;
+  std::vector<Bytes> sent_;
+  Bytes total_bytes_ = 0;
+  double last_advance_ = 0.0;
+  sim::EventId pending_completion_ = sim::kInvalidEvent;
+};
+
+}  // namespace saex::hw

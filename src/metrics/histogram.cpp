@@ -1,0 +1,69 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace saex::metrics {
+
+Histogram::Histogram(double min_value, double growth)
+    : min_value_(min_value), growth_(growth) {
+  assert(min_value > 0.0 && growth > 1.0);
+}
+
+size_t Histogram::bucket_index(double value) const noexcept {
+  if (value <= min_value_) return 0;
+  return static_cast<size_t>(
+             std::ceil(std::log(value / min_value_) / std::log(growth_)));
+}
+
+double Histogram::bucket_upper(size_t index) const noexcept {
+  return min_value_ * std::pow(growth_, static_cast<double>(index));
+}
+
+void Histogram::add(double value) noexcept {
+  value = std::max(value, 0.0);
+  const size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(min_value_ == other.min_value_ && growth_ == other.growth_);
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  min_ = count_ ? std::min(min_, other.min_) : other.min_;
+  max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace saex::metrics

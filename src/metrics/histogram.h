@@ -1,0 +1,48 @@
+// Log-bucketed histogram for latency/duration distributions.
+//
+// Buckets grow geometrically (each ×growth), so the histogram covers many
+// orders of magnitude with bounded memory and ~±(growth-1)/2 relative
+// quantile error — the standard HDR-style tradeoff. Used for per-stage task
+// duration distributions in reports and by the straggler analysis.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace saex::metrics {
+
+class Histogram {
+ public:
+  /// `min_value` is the lower bound of the first bucket; values below it
+  /// land in bucket 0. `growth` must be > 1.
+  explicit Histogram(double min_value = 1e-3, double growth = 1.25);
+
+  void add(double value) noexcept;
+  void merge(const Histogram& other);
+
+  uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Quantile estimate (bucket upper bound interpolation), q in [0,1].
+  double quantile(double q) const noexcept;
+
+  size_t bucket_count() const noexcept { return buckets_.size(); }
+
+ private:
+  size_t bucket_index(double value) const noexcept;
+  double bucket_upper(size_t index) const noexcept;
+
+  double min_value_;
+  double growth_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace saex::metrics

@@ -1,0 +1,32 @@
+#include "metrics/io_accounting.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace saex::metrics {
+
+void UtilizationTracker::set_active(double t, double active) {
+  assert(t + 1e-12 >= last_t_ && "time went backwards");
+  t = std::max(t, last_t_);
+  integral_ += active_ * (t - last_t_);
+  last_t_ = t;
+  active_ = active;
+  history_.push_back({t, integral_, active});
+}
+
+double UtilizationTracker::integral_at(double t) const {
+  // Binary search the last change point at or before t.
+  auto it = std::upper_bound(
+      history_.begin(), history_.end(), t,
+      [](double value, const Point& p) { return value < p.t; });
+  assert(it != history_.begin());
+  --it;
+  return it->integral + it->active * (t - it->t);
+}
+
+double UtilizationTracker::utilization(double t0, double t1) const {
+  if (t1 <= t0 || capacity_ <= 0.0) return 0.0;
+  return (integral_at(t1) - integral_at(t0)) / (capacity_ * (t1 - t0));
+}
+
+}  // namespace saex::metrics

@@ -1,0 +1,35 @@
+#include "metrics/registry.h"
+
+namespace saex::metrics {
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+double Registry::counter_value(std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second.value();
+}
+
+double Registry::gauge_value(std::string_view name) const noexcept {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+std::vector<std::string> Registry::counter_names(std::string_view prefix) const {
+  std::vector<std::string> names;
+  for (const auto& [name, counter] : counters_) {
+    if (name.rfind(prefix, 0) == 0) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace saex::metrics

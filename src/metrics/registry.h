@@ -1,0 +1,55 @@
+// Named counters and gauges.
+//
+// Components register counters under hierarchical names
+// ("node3/disk/bytes_read"); benches and tests read them back by name.
+// Single-threaded (simulation runs on one event loop), so no atomics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saex::metrics {
+
+class Counter {
+ public:
+  void add(double v) noexcept { value_ += v; }
+  void increment() noexcept { value_ += 1.0; }
+  double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Owns counters/gauges by name; references remain valid for the registry's
+/// lifetime (node-based map).
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Value of a counter/gauge, or 0 if it does not exist.
+  double counter_value(std::string_view name) const noexcept;
+  double gauge_value(std::string_view name) const noexcept;
+
+  /// Sorted names, optionally filtered by prefix.
+  std::vector<std::string> counter_names(std::string_view prefix = "") const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+};
+
+}  // namespace saex::metrics

@@ -1,0 +1,43 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace saex::metrics {
+
+std::vector<double> TimeSeries::resample(double t0, double t1, double dt) const {
+  std::vector<double> out;
+  if (dt <= 0 || t1 <= t0) return out;
+  double value = points_.empty() ? 0.0 : points_.front().second;
+  size_t idx = 0;
+  for (double t = t0; t < t1; t += dt) {
+    while (idx < points_.size() && points_[idx].first <= t) {
+      value = points_[idx].second;
+      ++idx;
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+void RateSeries::add(double t, Bytes bytes) {
+  if (t < 0) t = 0;
+  const size_t bin = static_cast<size_t>(t / bin_);
+  if (bin >= bytes_per_bin_.size()) bytes_per_bin_.resize(bin + 1, 0.0);
+  bytes_per_bin_[bin] += static_cast<double>(bytes);
+}
+
+std::vector<double> RateSeries::rates() const {
+  std::vector<double> out(bytes_per_bin_.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = bytes_per_bin_[i] / bin_;
+  return out;
+}
+
+double RateSeries::mean_rate() const {
+  if (bytes_per_bin_.empty()) return 0.0;
+  double total = 0.0;
+  for (double b : bytes_per_bin_) total += b;
+  return total / (static_cast<double>(bytes_per_bin_.size()) * bin_);
+}
+
+}  // namespace saex::metrics

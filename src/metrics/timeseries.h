@@ -1,0 +1,48 @@
+// Time-series recording for figure-style outputs.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace saex::metrics {
+
+/// Append-only (time, value) series.
+class TimeSeries {
+ public:
+  void record(double t, double value) { points_.emplace_back(t, value); }
+  const std::vector<std::pair<double, double>>& points() const noexcept {
+    return points_;
+  }
+  bool empty() const noexcept { return points_.empty(); }
+
+  /// Values resampled onto fixed bins [t0, t0+dt), last-value-holds.
+  std::vector<double> resample(double t0, double t1, double dt) const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Accumulates byte events into fixed-width bins; reads back as a rate
+/// series (bytes/sec per bin). This is how Fig. 12's throughput-over-time
+/// curves are produced.
+class RateSeries {
+ public:
+  explicit RateSeries(double bin_seconds = 1.0) : bin_(bin_seconds) {}
+
+  void add(double t, Bytes bytes);
+
+  double bin_seconds() const noexcept { return bin_; }
+  /// Rate per bin in bytes/sec from t=0 through the last recorded event.
+  std::vector<double> rates() const;
+  /// Mean rate over the recorded span (0 if empty).
+  double mean_rate() const;
+
+ private:
+  double bin_;
+  std::vector<double> bytes_per_bin_;
+};
+
+}  // namespace saex::metrics

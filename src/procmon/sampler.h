@@ -1,0 +1,47 @@
+// Live sampling over /proc: turns two snapshots into the rates and
+// fractions the paper's figures are built from (iowait%, CPU%, disk
+// throughput, device utilization). Used by the real-thread-pool example;
+// the simulation provides the same quantities from its own accounting.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "procmon/procfs.h"
+
+namespace saex::procmon {
+
+struct SystemSnapshot {
+  CpuTimes cpu;
+  std::map<std::string, DiskStats> disks;
+  std::optional<ProcessIo> self_io;
+  double wall_seconds = 0.0;  // monotonic timestamp
+};
+
+struct SystemDelta {
+  double interval_seconds = 0.0;
+  double cpu_busy_fraction = 0.0;
+  double cpu_iowait_fraction = 0.0;
+  double disk_read_bps = 0.0;    // summed over monitored devices
+  double disk_write_bps = 0.0;
+  double disk_utilization = 0.0;  // max over devices, iostat %util
+  double self_read_bps = 0.0;
+  double self_write_bps = 0.0;
+};
+
+class Sampler {
+ public:
+  /// `proc_root` is overridable for tests ("/proc" in production).
+  explicit Sampler(std::string proc_root = "/proc");
+
+  /// Reads /proc/stat, /proc/diskstats, /proc/self/io now.
+  SystemSnapshot snapshot() const;
+
+  /// Rates between two snapshots (b after a).
+  static SystemDelta delta(const SystemSnapshot& a, const SystemSnapshot& b);
+
+ private:
+  std::string proc_root_;
+};
+
+}  // namespace saex::procmon

@@ -1,0 +1,80 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace saex::sim {
+
+EventId Simulation::schedule_at(Time t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(t, now_), id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+EventId Simulation::schedule_after(Time delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+bool Simulation::is_cancelled(EventId id) const noexcept {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  if (is_cancelled(id)) return false;
+  // We cannot remove from the middle of a priority_queue; record the id and
+  // drop the event when it surfaces. live_events_ is decremented now so that
+  // pending() reflects the logical queue.
+  cancelled_.push_back(id);
+  if (live_events_ > 0) --live_events_;
+  return true;
+}
+
+bool Simulation::fire_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) {
+      cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), ev.id));
+      continue;
+    }
+    assert(ev.t >= now_ && "event scheduled in the past");
+    now_ = ev.t;
+    --live_events_;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+Time Simulation::run() {
+  while (fire_next()) {
+  }
+  return now_;
+}
+
+bool Simulation::run_until(Time limit) {
+  while (!queue_.empty()) {
+    // Peek through cancelled events without firing.
+    if (is_cancelled(queue_.top().id)) {
+      const EventId id = queue_.top().id;
+      queue_.pop();
+      cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), id));
+      continue;
+    }
+    if (queue_.top().t > limit) {
+      now_ = limit;
+      return true;
+    }
+    fire_next();
+  }
+  now_ = std::max(now_, limit);
+  return false;
+}
+
+bool Simulation::step() { return fire_next(); }
+
+}  // namespace saex::sim

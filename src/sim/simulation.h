@@ -1,0 +1,82 @@
+// Discrete-event simulation kernel.
+//
+// All cluster hardware (disks, NICs, cores) and the engine's executors run
+// on a single-threaded event loop over simulated seconds. Determinism:
+// events with equal timestamps fire in scheduling order (FIFO tiebreak), so
+// a run is a pure function of (configuration, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace saex::sim {
+
+/// Simulated time in seconds since simulation start.
+using Time = double;
+
+/// Opaque handle for a scheduled event; valid until the event fires or is
+/// cancelled.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now()).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` seconds from now (negative delays clamp to 0).
+  EventId schedule_after(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  /// Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// Runs until the event queue is empty. Returns the final time.
+  Time run();
+
+  /// Runs all events with timestamp <= limit; advances now() to
+  /// min(limit, last event time). Returns true if events remain.
+  bool run_until(Time limit);
+
+  /// Processes exactly one event if any is pending; returns false when the
+  /// queue is empty.
+  bool step();
+
+  size_t pending() const noexcept { return live_events_; }
+  uint64_t processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    Time t;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  bool fire_next();
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  uint64_t processed_ = 0;
+  size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Cancelled ids; lazily dropped when they reach the queue head.
+  std::vector<EventId> cancelled_;
+  bool is_cancelled(EventId id) const noexcept;
+};
+
+}  // namespace saex::sim

@@ -1,0 +1,88 @@
+// Additional HiBench workloads beyond the paper's Table 2 set — useful for
+// exercising the engine and the adaptive executors on more shapes:
+//
+//   wordcount  — the classic micro benchmark: read-heavy map, tiny shuffle
+//   sort       — like Terasort without the sampling job
+//   kmeans     — iterative ML: cached points, tiny per-iteration shuffles
+#include <algorithm>
+
+#include "common/format.h"
+#include "workloads/workloads.h"
+
+namespace saex::workloads {
+
+WorkloadSpec wordcount(Bytes input) {
+  WorkloadSpec spec;
+  spec.name = "wordcount";
+  spec.type = "micro";
+  spec.input_size = input;
+  spec.paper_io_ratio = 1.1;  // not in Table 2; read-dominated
+
+  spec.build = [input](engine::SparkContext& ctx) {
+    auto& dfs = ctx.dfs();
+    if (!dfs.exists("/wordcount/in")) {
+      dfs.load_input("/wordcount/in", input, std::min(ctx.cluster().size(), 4));
+    }
+    // Tokenize + per-partition combine crushes the data before the shuffle.
+    const engine::Rdd out =
+        ctx.text_file("/wordcount/in")
+            .flat_map("tokenize", {0.25, 1.0})
+            .reduce_by_key("countByWord", {0.10, 1.0}, 0.03)
+            .map("format", {0.02, 1.0})
+            .save_as_text_file("/wordcount/out", 1);
+    return std::vector<engine::Rdd>{out};
+  };
+  return spec;
+}
+
+WorkloadSpec sort(Bytes input) {
+  WorkloadSpec spec;
+  spec.name = "sort";
+  spec.type = "micro";
+  spec.input_size = input;
+  spec.paper_io_ratio = 3.0;
+
+  spec.build = [input](engine::SparkContext& ctx) {
+    auto& dfs = ctx.dfs();
+    if (!dfs.exists("/sort/in")) {
+      dfs.load_input("/sort/in", input, std::min(ctx.cluster().size(), 4));
+    }
+    const engine::Rdd out = ctx.text_file("/sort/in")
+                                .sort_by_key("sortByKey", {0.04, 1.0})
+                                .save_as_text_file("/sort/out", 1);
+    return std::vector<engine::Rdd>{out};
+  };
+  return spec;
+}
+
+WorkloadSpec kmeans(Bytes input, int iterations) {
+  WorkloadSpec spec;
+  spec.name = "kmeans";
+  spec.type = "ml";
+  spec.input_size = input;
+  spec.paper_io_ratio = 1.2;  // cached after the first pass
+
+  spec.build = [input, iterations](engine::SparkContext& ctx) {
+    auto& dfs = ctx.dfs();
+    if (!dfs.exists("/kmeans/in")) {
+      dfs.load_input("/kmeans/in", input, std::min(ctx.cluster().size(), 4));
+    }
+    const engine::Rdd points =
+        ctx.text_file("/kmeans/in").map("parseVectors", {0.15, 1.0}).cache();
+
+    // Each iteration is its own job: assign points to centroids (CPU-heavy
+    // over the cached set) and aggregate the tiny per-centroid sums.
+    std::vector<engine::Rdd> actions;
+    for (int i = 1; i <= iterations; ++i) {
+      actions.push_back(
+          points.map(strfmt::format("assign-{}", i), {0.30, 0.0005})
+              .reduce_by_key(strfmt::format("centroids-{}", i), {0.01, 1.0},
+                             1.0, /*num_partitions=*/8)
+              .collect(strfmt::format("update-{}", i)));
+    }
+    return actions;
+  };
+  return spec;
+}
+
+}  // namespace saex::workloads

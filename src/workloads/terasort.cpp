@@ -1,0 +1,46 @@
+// Terasort (HiBench micro, 120 GB). The paper's primary workload: three
+// stages, all I/O-tagged (§4), very low CPU (Fig. 1: 6/15/9%).
+//
+//  stage 0  sampling job: full input scan feeding the range partitioner
+//           (read-only, result to driver)
+//  stage 1  map: read input, range-partition, shuffle-write everything
+//  stage 2  reduce: fetch shuffle, merge, write sorted output
+#include <algorithm>
+
+#include "workloads/workloads.h"
+
+namespace saex::workloads {
+
+WorkloadSpec terasort(Bytes input) {
+  WorkloadSpec spec;
+  spec.name = "terasort";
+  spec.type = "micro";
+  spec.input_size = input;
+  spec.paper_io_ratio = 3.84;  // Table 2: 429.35 GiB on 111.75 GiB input
+
+  spec.build = [input](engine::SparkContext& ctx) {
+    auto& dfs = ctx.dfs();
+    if (!dfs.exists("/terasort/in")) {
+      dfs.load_input("/terasort/in", input, std::min(ctx.cluster().size(), 4));
+    }
+
+    // Job 1: range-partitioner sampling. HiBench's generated partitioner
+    // scans the input once; CPU per record is tiny (checksum + key parse).
+    const engine::Rdd sample = ctx.text_file("/terasort/in")
+                                   .map("sampleKeys", {0.018, 1.0})
+                                   .collect("rangeBounds");
+
+    // Job 2: the sort itself. sortByKey moves every byte through the
+    // shuffle; the reduce side merges (cheap) and writes the output.
+    const engine::Rdd sorted =
+        ctx.text_file("/terasort/in")
+            .sort_by_key("sortByKey", {0.045, 1.0})
+            .map("merge", {0.028, 1.0})
+            .save_as_text_file("/terasort/out", /*replication=*/1);
+
+    return std::vector<engine::Rdd>{sample, sorted};
+  };
+  return spec;
+}
+
+}  // namespace saex::workloads

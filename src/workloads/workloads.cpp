@@ -1,0 +1,60 @@
+#include "workloads/workloads.h"
+
+namespace saex::workloads {
+
+std::vector<WorkloadSpec> table2_workloads() {
+  return {aggregation(), bayes(),   join(), lda(), nweight(),
+          pagerank(),    scan(),    terasort(), svm()};
+}
+
+std::vector<WorkloadSpec> extra_workloads() {
+  return {wordcount(), sort(), kmeans()};
+}
+
+namespace {
+
+engine::JobReport run_impl(const WorkloadSpec& spec, hw::Cluster& cluster,
+                           conf::Config config,
+                           engine::SparkContext::PolicyFactory factory) {
+  engine::SparkContext ctx(cluster, std::move(config));
+  if (factory) ctx.set_policy_factory(std::move(factory));
+
+  const std::vector<engine::Rdd> actions = spec.build(ctx);
+  engine::JobReport merged;
+  bool first = true;
+  for (const engine::Rdd& action : actions) {
+    engine::JobReport r = ctx.run_job(action, spec.name);
+    if (first) {
+      merged = std::move(r);
+      first = false;
+    } else {
+      merged.total_runtime += r.total_runtime;
+      merged.total_disk_bytes += r.total_disk_bytes;
+      for (engine::StageStats& s : r.stages) {
+        merged.stages.push_back(std::move(s));
+      }
+    }
+  }
+  // Re-number stages so the application has one contiguous stage list.
+  for (size_t i = 0; i < merged.stages.size(); ++i) {
+    merged.stages[i].ordinal = static_cast<int>(i);
+  }
+  merged.app_name = spec.name;
+  merged.input_bytes = spec.input_size;
+  return merged;
+}
+
+}  // namespace
+
+engine::JobReport run(const WorkloadSpec& spec, hw::Cluster& cluster,
+                      conf::Config config) {
+  return run_impl(spec, cluster, std::move(config), nullptr);
+}
+
+engine::JobReport run_with_policy(const WorkloadSpec& spec,
+                                  hw::Cluster& cluster, conf::Config config,
+                                  engine::SparkContext::PolicyFactory factory) {
+  return run_impl(spec, cluster, std::move(config), std::move(factory));
+}
+
+}  // namespace saex::workloads

@@ -1,0 +1,62 @@
+// HiBench-equivalent workload definitions (paper §6.1, Tables 2–3).
+//
+// Each workload is a plan builder over the engine plus the input files it
+// needs. Per-operator CPU costs and size ratios are calibrated against the
+// paper's published characterization — Table 2's I/O-activity multipliers
+// and Fig. 1's per-stage CPU/iowait profiles — so runtimes, utilizations and
+// the adaptive controller's behaviour are *outputs* of the simulation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/context.h"
+
+namespace saex::workloads {
+
+struct WorkloadSpec {
+  std::string name;
+  std::string type;        // Table 3: micro / sql / websearch / ml / graph
+  Bytes input_size = 0;
+  double paper_io_ratio = 0.0;  // Table 2: I/O activity / input size
+
+  /// Loads inputs into the context's DFS (replication = cluster size, as in
+  /// §6.1) and returns the job actions to execute in order. Spark
+  /// applications may consist of several jobs (e.g. Terasort's sampling
+  /// pass); their stages concatenate into the application's stage list.
+  std::function<std::vector<engine::Rdd>(engine::SparkContext&)> build;
+};
+
+/// HiBench presets sized as in the paper.
+WorkloadSpec terasort(Bytes input = gib(111.75));
+WorkloadSpec pagerank(Bytes input = gib(18.56), int iterations = 4);
+WorkloadSpec aggregation(Bytes input = gib(17.87));
+WorkloadSpec join(Bytes input = gib(17.87));
+WorkloadSpec scan(Bytes input = gib(17.87));
+WorkloadSpec bayes(Bytes input = gib(3.50));
+WorkloadSpec lda(Bytes input = gib(0.63));
+WorkloadSpec nweight(Bytes input = gib(0.28));
+WorkloadSpec svm(Bytes input = gib(107.29));
+
+/// The nine applications of Table 2, in the paper's order.
+std::vector<WorkloadSpec> table2_workloads();
+
+/// Extension workloads beyond the paper's set (HiBench classics).
+WorkloadSpec wordcount(Bytes input = gib(32));
+WorkloadSpec sort(Bytes input = gib(32));
+WorkloadSpec kmeans(Bytes input = gib(16), int iterations = 3);
+std::vector<WorkloadSpec> extra_workloads();
+
+/// Runs a workload application (all of its jobs) on a fresh context and
+/// returns the merged report.
+engine::JobReport run(const WorkloadSpec& spec, hw::Cluster& cluster,
+                      conf::Config config);
+
+/// Same, but installing a custom policy factory before running (used by the
+/// static-sweep and BestFit benches).
+engine::JobReport run_with_policy(const WorkloadSpec& spec,
+                                  hw::Cluster& cluster, conf::Config config,
+                                  engine::SparkContext::PolicyFactory factory);
+
+}  // namespace saex::workloads

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dfs/dfs.h"
+
+namespace saex::dfs {
+namespace {
+
+class DfsTest : public ::testing::Test {
+ protected:
+  DfsTest() : cluster_(hw::ClusterSpec::das5(4)), dfs_(cluster_, {}) {}
+
+  hw::Cluster cluster_;
+  Dfs dfs_;
+};
+
+TEST_F(DfsTest, SplitsFileIntoBlocks) {
+  const FileInfo& f = dfs_.load_input("/in/data", mib(300), 3);
+  EXPECT_EQ(f.blocks.size(), 3u);  // 128 + 128 + 44
+  EXPECT_EQ(f.blocks[0].size, mib(128));
+  EXPECT_EQ(f.blocks[2].size, mib(44));
+  Bytes total = 0;
+  for (const auto& b : f.blocks) total += b.size;
+  EXPECT_EQ(total, mib(300));
+}
+
+TEST_F(DfsTest, ReplicationClampedToClusterSize) {
+  const FileInfo& f = dfs_.load_input("/in/full", mib(10), 10);
+  ASSERT_EQ(f.blocks.size(), 1u);
+  EXPECT_EQ(f.blocks[0].replicas.size(), 4u);
+}
+
+TEST_F(DfsTest, ReplicasAreDistinctNodes) {
+  const FileInfo& f = dfs_.load_input("/in/r3", gib(2), 3);
+  for (const auto& b : f.blocks) {
+    std::set<int> uniq(b.replicas.begin(), b.replicas.end());
+    EXPECT_EQ(uniq.size(), b.replicas.size());
+    for (int n : b.replicas) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 4);
+    }
+  }
+}
+
+TEST_F(DfsTest, FullReplicationMeansAlwaysLocal) {
+  // The paper sets replication = cluster size so read stages are fully local.
+  const FileInfo& f = dfs_.load_input("/in/local", gib(1), 4);
+  for (const auto& b : f.blocks) {
+    for (int node = 0; node < 4; ++node) {
+      EXPECT_TRUE(b.is_local_to(node));
+      EXPECT_EQ(dfs_.choose_read_source(b, node), node);
+    }
+  }
+}
+
+TEST_F(DfsTest, PrimariesRotateAcrossBlocks) {
+  const FileInfo& f = dfs_.load_input("/in/rot", mib(128 * 8), 1);
+  ASSERT_EQ(f.blocks.size(), 8u);
+  std::set<int> primaries;
+  for (const auto& b : f.blocks) primaries.insert(b.replicas[0]);
+  EXPECT_EQ(primaries.size(), 4u);  // round-robin covers all nodes
+}
+
+TEST_F(DfsTest, OutputPrefersWriterNode) {
+  const FileInfo& f = dfs_.create_output("/out/part0", mib(256), 2, 2);
+  for (const auto& b : f.blocks) {
+    EXPECT_EQ(b.replicas[0], 2);
+    EXPECT_EQ(b.replicas.size(), 2u);
+  }
+}
+
+TEST_F(DfsTest, RemoteReadPicksAReplica) {
+  const FileInfo& f = dfs_.load_input("/in/r1", mib(10), 1);
+  ASSERT_EQ(f.blocks.size(), 1u);
+  const Block& b = f.blocks[0];
+  const int owner = b.replicas[0];
+  for (int node = 0; node < 4; ++node) {
+    if (node == owner) continue;
+    EXPECT_EQ(dfs_.choose_read_source(b, node), owner);
+  }
+}
+
+TEST_F(DfsTest, LookupAndRemove) {
+  dfs_.load_input("/a", mib(1), 1);
+  EXPECT_TRUE(dfs_.exists("/a"));
+  EXPECT_NE(dfs_.lookup("/a"), nullptr);
+  dfs_.remove("/a");
+  EXPECT_FALSE(dfs_.exists("/a"));
+  EXPECT_EQ(dfs_.lookup("/a"), nullptr);
+  dfs_.remove("/never-existed");  // no-op
+}
+
+TEST_F(DfsTest, EmptyFileHasNoBlocks) {
+  const FileInfo& f = dfs_.load_input("/empty", 0, 3);
+  EXPECT_TRUE(f.blocks.empty());
+  EXPECT_EQ(f.size, 0);
+}
+
+TEST(PlacementPolicy, DeterministicGivenSeed) {
+  PlacementPolicy a(8, Rng(5)), b(8, Rng(5));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.place(3), b.place(3));
+  }
+}
+
+}  // namespace
+}  // namespace saex::dfs

@@ -1,0 +1,196 @@
+// SparkContext end-to-end: job execution, reports, policies, determinism.
+#include <gtest/gtest.h>
+
+#include "engine/context.h"
+
+namespace saex::engine {
+namespace {
+
+conf::Config small_config() {
+  conf::Config c;
+  c.set("spark.default.parallelism", "16");
+  return c;
+}
+
+struct ContextRig {
+  explicit ContextRig(conf::Config config = small_config(), int nodes = 4,
+                      uint64_t seed = 42)
+      : spec([&] {
+          hw::ClusterSpec s = hw::ClusterSpec::das5(nodes);
+          s.seed = seed;
+          return s;
+        }()),
+        cluster(spec),
+        ctx(cluster, std::move(config)) {}
+
+  hw::ClusterSpec spec;
+  hw::Cluster cluster;
+  SparkContext ctx;
+};
+
+TEST(SparkContext, RunsSingleStageJob) {
+  ContextRig rig;
+  rig.ctx.dfs().load_input("/in", gib(1), 4);
+  const Rdd out = rig.ctx.text_file("/in").map("m", {0.01, 1.0}).count();
+  const JobReport report = rig.ctx.run_job(out, "tiny");
+
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_EQ(report.app_name, "tiny");
+  EXPECT_GT(report.total_runtime, 0.0);
+  EXPECT_EQ(report.input_bytes, gib(1));
+  EXPECT_EQ(report.stages[0].num_tasks, 8);
+  EXPECT_EQ(report.stages[0].disk_read, gib(1));
+  EXPECT_EQ(report.stages[0].disk_written, 0);
+  EXPECT_GT(report.stages[0].disk_utilization, 0.0);
+  EXPECT_EQ(report.stages[0].threads_total, 4 * 32);  // default policy
+}
+
+TEST(SparkContext, ShuffleBytesConserved) {
+  ContextRig rig;
+  rig.ctx.dfs().load_input("/in", gib(1), 4);
+  const Rdd out = rig.ctx.text_file("/in")
+                      .reduce_by_key("g", {0.01, 1.0}, 0.5, 0,
+                                     ShuffleTraits{0.0, 1.0})
+                      .count();
+  const JobReport report = rig.ctx.run_job(out);
+  ASSERT_EQ(report.stages.size(), 2u);
+
+  // Everything the map stage wrote is fetched by the reduce stage.
+  EXPECT_EQ(rig.ctx.shuffles().total_output(0), gib(0.5));
+  Bytes fetched = 0;
+  for (const auto& es : report.stages[1].executors) fetched += es.io_bytes;
+  EXPECT_NEAR(static_cast<double>(fetched), static_cast<double>(gib(0.5)),
+              static_cast<double>(gib(0.5)) * 0.2);  // page-cache slice is free
+}
+
+TEST(SparkContext, OutputFileRegisteredInDfs) {
+  ContextRig rig;
+  rig.ctx.dfs().load_input("/in", mib(256), 4);
+  const Rdd out =
+      rig.ctx.text_file("/in").map("m", {0.0, 0.5}).save_as_text_file("/out");
+  (void)rig.ctx.run_job(out);
+  const dfs::FileInfo* f = rig.ctx.dfs().lookup("/out");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->size, mib(128));
+}
+
+TEST(SparkContext, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    ContextRig rig;
+    rig.ctx.dfs().load_input("/in", gib(2), 4);
+    const Rdd out = rig.ctx.text_file("/in")
+                        .reduce_by_key("g", {0.02, 1.0}, 1.0)
+                        .save_as_text_file("/out");
+    return rig.ctx.run_job(out).total_runtime;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(SparkContext, SeedChangesHeterogeneityAndRuntime) {
+  auto run_seed = [](uint64_t seed) {
+    ContextRig rig(small_config(), 4, seed);
+    rig.ctx.dfs().load_input("/in", gib(2), 4);
+    const Rdd out = rig.ctx.text_file("/in").count();
+    return rig.ctx.run_job(out).total_runtime;
+  };
+  EXPECT_NE(run_seed(1), run_seed(2));
+}
+
+TEST(SparkContext, StaticPolicyFromConfig) {
+  conf::Config config = small_config();
+  config.set("saex.executor.policy", "static");
+  config.set_int("saex.static.ioThreads", 8);
+  ContextRig rig(std::move(config));
+  rig.ctx.dfs().load_input("/in", gib(1), 4);
+
+  const Rdd out = rig.ctx.text_file("/in")
+                      .reduce_by_key("g", {0.01, 1.0}, 1.0, 0,
+                                     ShuffleTraits{0.0, 1.0})
+                      .count();
+  const JobReport report = rig.ctx.run_job(out);
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.policy_name, "static");
+  // Stage 0 reads the DFS (I/O-tagged) -> 8 threads per executor.
+  EXPECT_EQ(report.stages[0].threads_total, 4 * 8);
+  // Stage 1 is a pure shuffle->driver stage: default threads.
+  EXPECT_EQ(report.stages[1].threads_total, 4 * 32);
+}
+
+TEST(SparkContext, DynamicPolicyTunesAndReports) {
+  conf::Config config;  // full default parallelism for enough tasks
+  config.set("saex.executor.policy", "dynamic");
+  ContextRig rig(std::move(config));
+  rig.ctx.dfs().load_input("/in", gib(8), 4);
+
+  const Rdd out = rig.ctx.text_file("/in").save_as_text_file("/copy");
+  const JobReport report = rig.ctx.run_job(out);
+  EXPECT_EQ(report.policy_name, "dynamic");
+  // The controller settled somewhere within [c_min, c_max] on each executor.
+  for (const auto& es : report.stages[0].executors) {
+    EXPECT_GE(es.threads_settled, 2);
+    EXPECT_LE(es.threads_settled, 32);
+  }
+  // Knowledge base recorded intervals for the stage.
+  const auto* ctrl = rig.ctx.executor(0).policy().controller();
+  ASSERT_NE(ctrl, nullptr);
+  EXPECT_FALSE(ctrl->knowledge().stages().empty());
+}
+
+TEST(SparkContext, CustomPolicyFactoryInstalls) {
+  ContextRig rig;
+  rig.ctx.set_policy_factory([](adaptive::Sensor&, adaptive::PoolEffector& pool,
+                                adaptive::SchedulerNotifier notifier, int) {
+    return std::make_unique<adaptive::PerStagePolicy>(
+        pool, std::move(notifier), std::map<int, int>{{0, 4}}, 32);
+  });
+  rig.ctx.dfs().load_input("/in", gib(1), 4);
+  const Rdd out = rig.ctx.text_file("/in").count();
+  const JobReport report = rig.ctx.run_job(out);
+  EXPECT_EQ(report.stages[0].threads_total, 4 * 4);
+  EXPECT_EQ(report.policy_name, "per-stage");
+}
+
+TEST(SparkContext, UnknownPolicyThrows) {
+  conf::Config config;
+  config.set("saex.executor.policy", "wizard");
+  hw::Cluster cluster(hw::ClusterSpec::das5(2));
+  EXPECT_THROW(SparkContext(cluster, std::move(config)), conf::ConfigError);
+}
+
+TEST(SparkContext, MultiJobStageOrdinalsContinue) {
+  conf::Config config = small_config();
+  config.set("saex.executor.policy", "static");
+  config.set_int("saex.static.ioThreads", 4);
+  ContextRig rig(std::move(config));
+  rig.ctx.dfs().load_input("/in", gib(1), 4);
+
+  (void)rig.ctx.run_job(rig.ctx.text_file("/in").count(), "job1");
+  // Second job: its first stage is application-stage 1, not 0. A PerStage
+  // policy keyed on ordinal 1 must fire (verified via the static policy's
+  // I/O tagging instead: both stages are tagged, both get 4 threads).
+  const JobReport r2 = rig.ctx.run_job(rig.ctx.text_file("/in").count(), "job2");
+  EXPECT_EQ(r2.stages[0].threads_total, 4 * 4);
+}
+
+TEST(SparkContext, ReportRenderContainsStages) {
+  ContextRig rig;
+  rig.ctx.dfs().load_input("/in", mib(256), 4);
+  const JobReport report = rig.ctx.run_job(rig.ctx.text_file("/in").count());
+  const std::string text = report.render();
+  EXPECT_NE(text.find("stage"), std::string::npos);
+  EXPECT_NE(text.find("textFile(/in)"), std::string::npos);
+  EXPECT_NE(text.find("runtime"), std::string::npos);
+}
+
+TEST(SparkContext, IowaitBoundedByIdleFraction) {
+  ContextRig rig;
+  rig.ctx.dfs().load_input("/in", gib(4), 4);
+  const JobReport report = rig.ctx.run_job(rig.ctx.text_file("/in").count());
+  for (const auto& s : report.stages) {
+    EXPECT_GE(s.iowait_fraction, 0.0);
+    EXPECT_LE(s.iowait_fraction + s.cpu_utilization, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace saex::engine

@@ -1,0 +1,205 @@
+// Logical plan construction and DAG scheduling (stage splitting, I/O
+// tagging, size propagation).
+#include <gtest/gtest.h>
+
+#include "dfs/dfs.h"
+#include "engine/dag_scheduler.h"
+#include "engine/plan.h"
+#include "hw/cluster.h"
+
+namespace saex::engine {
+namespace {
+
+class DagTest : public ::testing::Test {
+ protected:
+  DagTest()
+      : cluster_(hw::ClusterSpec::das5(4)),
+        dfs_(cluster_, {}),
+        dag_(dfs_, /*default_parallelism=*/128) {
+    dfs_.load_input("/in", gib(2), 4);          // 16 blocks
+    dfs_.load_input("/in2", mib(512), 4);       // 4 blocks
+  }
+
+  hw::Cluster cluster_;
+  dfs::Dfs dfs_;
+  DagScheduler dag_;
+  PlanBuilder plans_;
+};
+
+TEST_F(DagTest, PlanNodesHaveUniqueIdsAndParents) {
+  const Rdd a = plans_.text_file("/in");
+  const Rdd b = a.map("m", {0.1, 0.5});
+  const Rdd c = b.filter("f", 0.5);
+  EXPECT_NE(a.node()->id, b.node()->id);
+  EXPECT_EQ(b.node()->parents.front().get(), a.node().get());
+  EXPECT_EQ(c.node()->kind, OpKind::kNarrow);
+  EXPECT_DOUBLE_EQ(c.node()->cost.output_ratio, 0.5);
+}
+
+TEST_F(DagTest, SingleStageScan) {
+  const Rdd out = plans_.text_file("/in")
+                      .map("project", {0.1, 1.2})
+                      .save_as_text_file("/out", 2);
+  const JobPlan plan = dag_.build(out);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  const Stage& s = plan.stages[0];
+  EXPECT_EQ(s.source, StageSource::kDfs);
+  EXPECT_EQ(s.sink, StageSink::kDfsWrite);
+  EXPECT_TRUE(s.io_tagged);
+  EXPECT_EQ(s.num_tasks, 16);
+  EXPECT_EQ(s.input_bytes, gib(2));
+  EXPECT_DOUBLE_EQ(s.output_ratio, 1.2);
+  EXPECT_EQ(s.out_replication, 2);
+}
+
+TEST_F(DagTest, ShuffleSplitsIntoTwoStages) {
+  const Rdd out = plans_.text_file("/in")
+                      .map("parse", {0.1, 0.5})
+                      .reduce_by_key("group", {0.05, 1.0}, 0.8)
+                      .save_as_text_file("/out");
+  const JobPlan plan = dag_.build(out);
+  ASSERT_EQ(plan.stages.size(), 2u);
+
+  const Stage& map_stage = plan.stages[0];
+  EXPECT_EQ(map_stage.sink, StageSink::kShuffleWrite);
+  EXPECT_TRUE(map_stage.io_tagged);  // reads the DFS
+  // parse halves the data, shuffle keeps 80% of that.
+  EXPECT_NEAR(map_stage.output_ratio, 0.4, 1e-9);
+
+  const Stage& reduce_stage = plan.stages[1];
+  EXPECT_EQ(reduce_stage.source, StageSource::kShuffle);
+  EXPECT_TRUE(reduce_stage.io_tagged);  // writes the DFS
+  EXPECT_EQ(reduce_stage.num_tasks, 128);  // default parallelism
+  EXPECT_EQ(reduce_stage.input_bytes, map_stage.output_bytes());
+  EXPECT_EQ(reduce_stage.parent_uids.size(), 1u);
+  EXPECT_EQ(reduce_stage.parent_uids[0], map_stage.uid);
+}
+
+TEST_F(DagTest, ShuffleOnlyStagesAreNotIoTagged) {
+  // Paper §4 L2: shuffle stages do not express I/O.
+  const Rdd out = plans_.text_file("/in")
+                      .reduce_by_key("s1", {0.0, 1.0}, 1.0)
+                      .reduce_by_key("s2", {0.0, 1.0}, 1.0)
+                      .save_as_text_file("/out");
+  const JobPlan plan = dag_.build(out);
+  ASSERT_EQ(plan.stages.size(), 3u);
+  EXPECT_TRUE(plan.stages[0].io_tagged);   // read
+  EXPECT_FALSE(plan.stages[1].io_tagged);  // pure shuffle
+  EXPECT_TRUE(plan.stages[2].io_tagged);   // write
+}
+
+TEST_F(DagTest, ExplicitPartitionCountHonored) {
+  const Rdd out = plans_.text_file("/in")
+                      .reduce_by_key("g", {0.0, 1.0}, 1.0, 48)
+                      .collect();
+  const JobPlan plan = dag_.build(out);
+  ASSERT_EQ(plan.stages.size(), 2u);
+  EXPECT_EQ(plan.stages[1].num_tasks, 48);
+}
+
+TEST_F(DagTest, CollectProducesNoOutputBytes) {
+  const Rdd out = plans_.text_file("/in").map("m", {0.1, 1.0}).count();
+  const JobPlan plan = dag_.build(out);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].sink, StageSink::kDriver);
+  EXPECT_EQ(plan.stages[0].output_bytes(), 0);
+}
+
+TEST_F(DagTest, JoinMaterializesBothParents) {
+  const Rdd a = plans_.text_file("/in").map("sa", {0.1, 0.2});
+  const Rdd b = plans_.text_file("/in2").map("sb", {0.1, 0.5});
+  const Rdd out = a.join(b, "j", {0.1, 1.0}, 0.6).save_as_text_file("/out");
+  const JobPlan plan = dag_.build(out);
+  ASSERT_EQ(plan.stages.size(), 3u);
+  // Two scan stages shuffle-write, the join stage consumes both.
+  EXPECT_EQ(plan.stages[0].sink, StageSink::kShuffleWrite);
+  EXPECT_EQ(plan.stages[1].sink, StageSink::kShuffleWrite);
+  const Stage& join_stage = plan.stages[2];
+  EXPECT_EQ(join_stage.in_shuffle_ids.size(), 2u);
+  const Bytes expected = plan.stages[0].output_bytes() +
+                         plan.stages[1].output_bytes();
+  EXPECT_EQ(join_stage.input_bytes, expected);
+  EXPECT_NEAR(join_stage.output_ratio, 0.6, 1e-9);
+}
+
+TEST_F(DagTest, ShuffleTraitsReachConsumerStage) {
+  const Rdd out = plans_.text_file("/in")
+                      .reduce_by_key("g", {0.0, 1.0}, 1.0, 0,
+                                     ShuffleTraits{0.7, 2.5})
+                      .collect();
+  const JobPlan plan = dag_.build(out);
+  ASSERT_EQ(plan.stages.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.stages[0].spill_fraction, 0.0);  // producer side
+  EXPECT_DOUBLE_EQ(plan.stages[1].spill_fraction, 0.7);
+  EXPECT_DOUBLE_EQ(plan.stages[1].scatter, 2.5);
+}
+
+TEST_F(DagTest, SortByKeyHasNoSpill) {
+  const Rdd out = plans_.text_file("/in")
+                      .sort_by_key("sort", {0.01, 1.0})
+                      .save_as_text_file("/out");
+  const JobPlan plan = dag_.build(out);
+  EXPECT_DOUBLE_EQ(plan.stages[1].spill_fraction, 0.0);
+}
+
+TEST_F(DagTest, CacheMaterializedOnceThenReused) {
+  const Rdd cached = plans_.text_file("/in").map("parse", {0.1, 0.5}).cache();
+  const Rdd out = cached.map("use1", {0.1, 0.001})
+                      .reduce_by_key("agg", {0.0, 1.0}, 1.0)
+                      .collect();
+  const JobPlan plan = dag_.build(out);
+  // Stage 0 reads DFS and caches; its cache output is registered.
+  ASSERT_GE(plan.stages.size(), 2u);
+  EXPECT_GE(plan.stages[0].cache_out_id, 0);
+  EXPECT_NEAR(plan.stages[0].cache_ratio, 0.5, 1e-9);
+
+  // A second job over the same DAG scheduler reuses the cache.
+  const Rdd out2 = cached.map("use2", {0.1, 0.001})
+                       .reduce_by_key("agg2", {0.0, 1.0}, 1.0)
+                       .collect();
+  const JobPlan plan2 = dag_.build(out2);
+  ASSERT_FALSE(plan2.stages.empty());
+  EXPECT_EQ(plan2.stages[0].source, StageSource::kCached);
+  EXPECT_EQ(plan2.stages[0].in_cache_id, plan.stages[0].cache_out_id);
+}
+
+TEST_F(DagTest, CpuCostAggregatesAlongChain) {
+  // 1 MiB input: op1 costs 0.2/MiB at ratio 1 -> op2 sees all bytes at
+  // 0.4/MiB but only half ratio -> total 0.2 + 0.4 = 0.6 per input MiB...
+  const Rdd out = plans_.text_file("/in")
+                      .map("op1", {0.2, 1.0})
+                      .map("op2", {0.4, 0.5})
+                      .map("op3", {0.8, 1.0})  // sees 50% of input
+                      .collect();
+  const JobPlan plan = dag_.build(out);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_NEAR(plan.stages[0].cpu_seconds_per_input_mib, 0.2 + 0.4 + 0.8 * 0.5,
+              1e-9);
+}
+
+TEST_F(DagTest, MissingInputThrows) {
+  const Rdd out = plans_.text_file("/does-not-exist").collect();
+  EXPECT_THROW((void)dag_.build(out), std::runtime_error);
+}
+
+TEST_F(DagTest, EmptyPlanThrows) {
+  EXPECT_THROW((void)dag_.build(Rdd{}), std::runtime_error);
+}
+
+TEST_F(DagTest, OrdinalsFollowExecutionOrder) {
+  const Rdd out = plans_.text_file("/in")
+                      .reduce_by_key("g", {0.0, 1.0}, 1.0)
+                      .save_as_text_file("/out");
+  const JobPlan plan = dag_.build(out);
+  for (size_t i = 0; i < plan.stages.size(); ++i) {
+    EXPECT_EQ(plan.stages[i].ordinal, static_cast<int>(i));
+    for (const int parent : plan.stages[i].parent_uids) {
+      const Stage* p = plan.stage_by_uid(parent);
+      ASSERT_NE(p, nullptr);
+      EXPECT_LT(p->ordinal, plan.stages[i].ordinal);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saex::engine

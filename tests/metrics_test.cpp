@@ -1,0 +1,181 @@
+#include "metrics/histogram.h"
+#include <gtest/gtest.h>
+
+#include "metrics/io_accounting.h"
+#include "metrics/registry.h"
+#include "metrics/timeseries.h"
+
+namespace saex::metrics {
+namespace {
+
+TEST(Registry, CounterAccumulates) {
+  Registry r;
+  r.counter("a/b").add(2.0);
+  r.counter("a/b").increment();
+  EXPECT_DOUBLE_EQ(r.counter_value("a/b"), 3.0);
+  EXPECT_DOUBLE_EQ(r.counter_value("missing"), 0.0);
+}
+
+TEST(Registry, GaugeHoldsLastValue) {
+  Registry r;
+  r.gauge("g").set(5.0);
+  r.gauge("g").set(2.0);
+  EXPECT_DOUBLE_EQ(r.gauge_value("g"), 2.0);
+}
+
+TEST(Registry, CounterNamesFilterByPrefix) {
+  Registry r;
+  r.counter("node0/disk/read");
+  r.counter("node0/disk/write");
+  r.counter("node1/disk/read");
+  EXPECT_EQ(r.counter_names("node0/").size(), 2u);
+  EXPECT_EQ(r.counter_names().size(), 3u);
+}
+
+TEST(TimeSeries, ResampleHoldsLastValue) {
+  TimeSeries ts;
+  ts.record(0.0, 1.0);
+  ts.record(2.0, 3.0);
+  const auto v = ts.resample(0.0, 4.0, 1.0);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  EXPECT_DOUBLE_EQ(v[3], 3.0);
+}
+
+TEST(RateSeries, BinsBytesIntoRates) {
+  RateSeries rs(1.0);
+  rs.add(0.5, 100);
+  rs.add(0.9, 100);
+  rs.add(1.5, 300);
+  const auto rates = rs.rates();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 200.0);
+  EXPECT_DOUBLE_EQ(rates[1], 300.0);
+  EXPECT_DOUBLE_EQ(rs.mean_rate(), 250.0);
+}
+
+TEST(RateSeries, EmptyMeanIsZero) {
+  RateSeries rs;
+  EXPECT_DOUBLE_EQ(rs.mean_rate(), 0.0);
+  EXPECT_TRUE(rs.rates().empty());
+}
+
+TEST(IoAccounting, AccumulatesMonotonically) {
+  IoAccounting io;
+  io.add_blocked(1.5);
+  io.add_read(100);
+  io.add_write(50);
+  io.task_completed();
+  io.add_blocked(0.5);
+  const IoCounters& c = io.snapshot();
+  EXPECT_DOUBLE_EQ(c.blocked_seconds, 2.0);
+  EXPECT_EQ(c.bytes_read, 100);
+  EXPECT_EQ(c.bytes_written, 50);
+  EXPECT_EQ(c.bytes_total(), 150);
+  EXPECT_EQ(c.tasks_completed, 1u);
+}
+
+TEST(UtilizationTracker, SingleUnitBusyFraction) {
+  UtilizationTracker u(1.0);
+  u.set_active(0.0, 1.0);
+  u.set_active(3.0, 0.0);   // busy [0,3)
+  u.set_active(5.0, 1.0);   // busy [5,10)
+  u.set_active(10.0, 0.0);
+  EXPECT_NEAR(u.utilization(0.0, 10.0), 0.8, 1e-12);
+  EXPECT_NEAR(u.utilization(0.0, 5.0), 0.6, 1e-12);
+  EXPECT_NEAR(u.utilization(3.0, 5.0), 0.0, 1e-12);
+}
+
+TEST(UtilizationTracker, MultiUnitCapacity) {
+  UtilizationTracker u(4.0);  // e.g. 4 cores
+  u.set_active(0.0, 2.0);
+  u.set_active(10.0, 4.0);
+  u.set_active(20.0, 0.0);
+  EXPECT_NEAR(u.utilization(0.0, 20.0), (2.0 * 10 + 4.0 * 10) / (4.0 * 20), 1e-12);
+}
+
+TEST(UtilizationTracker, HistoricalWindowQueries) {
+  UtilizationTracker u(1.0);
+  u.set_active(1.0, 1.0);
+  u.set_active(2.0, 0.0);
+  u.set_active(4.0, 1.0);
+  u.set_active(6.0, 0.0);
+  // Query an old window after later updates.
+  EXPECT_NEAR(u.utilization(0.0, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(u.utilization(4.0, 6.0), 1.0, 1e-12);
+  EXPECT_NEAR(u.utilization(0.0, 6.0), 3.0 / 6.0, 1e-12);
+}
+
+TEST(UtilizationTracker, IntegralExtrapolatesLastState) {
+  UtilizationTracker u(1.0);
+  u.set_active(0.0, 1.0);
+  EXPECT_NEAR(u.integral_at(7.0), 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace saex::metrics
+
+namespace saex::metrics {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, BasicMomentsExact) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(Histogram, QuantilesWithinBucketError) {
+  Histogram h(1e-3, 1.1);
+  for (int i = 1; i <= 1000; ++i) h.add(i * 0.01);  // uniform 0.01..10
+  // p50 ~ 5.0, p95 ~ 9.5, within one growth factor.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 5.0 * 0.12);
+  EXPECT_NEAR(h.quantile(0.95), 9.5, 9.5 * 0.12);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(Histogram, QuantileNeverExceedsMax) {
+  Histogram h;
+  h.add(7.3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 7.3);
+}
+
+TEST(Histogram, MergeMatchesCombined) {
+  Histogram a(1e-3, 1.2), b(1e-3, 1.2), all(1e-3, 1.2);
+  for (int i = 1; i <= 50; ++i) {
+    a.add(i * 0.1);
+    all.add(i * 0.1);
+  }
+  for (int i = 1; i <= 80; ++i) {
+    b.add(i * 0.03);
+    all.add(i * 0.03);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), all.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, ZeroAndNegativeClampToFirstBucket) {
+  Histogram h;
+  h.add(0.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+}  // namespace
+}  // namespace saex::metrics

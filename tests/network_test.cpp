@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/network.h"
+#include "sim/simulation.h"
+
+namespace saex::hw {
+namespace {
+
+NetworkParams small_net() {
+  NetworkParams p;
+  p.up_bw = 100e6;
+  p.down_bw = 100e6;
+  p.incast_src_threshold = 4;
+  p.incast_flow_threshold = 4;
+  p.incast_coeff = 0.1;
+  p.per_flow_cap = 1e12;  // uncapped: these tests exercise link sharing
+  p.latency = 0.0001;
+  return p;
+}
+
+TEST(Network, SingleFlowRunsAtLinkRate) {
+  sim::Simulation sim;
+  Network net(sim, 4, small_net());
+  bool done = false;
+  net.transfer(0, 1, static_cast<Bytes>(100e6), [&] { done = true; });
+  const double end = sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(end, 1.0, 0.01);  // 100 MB at 100 MB/s (+latency)
+}
+
+TEST(Network, UplinkSharedBetweenFlows) {
+  sim::Simulation sim;
+  Network net(sim, 4, small_net());
+  int done = 0;
+  // Two flows from node 0 to distinct destinations: each gets half the up bw.
+  net.transfer(0, 1, static_cast<Bytes>(50e6), [&] { ++done; });
+  net.transfer(0, 2, static_cast<Bytes>(50e6), [&] { ++done; });
+  const double end = sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_NEAR(end, 1.0, 0.02);
+}
+
+TEST(Network, DisjointPairsDoNotInterfere) {
+  sim::Simulation sim;
+  Network net(sim, 4, small_net());
+  int done = 0;
+  net.transfer(0, 1, static_cast<Bytes>(100e6), [&] { ++done; });
+  net.transfer(2, 3, static_cast<Bytes>(100e6), [&] { ++done; });
+  const double end = sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_NEAR(end, 1.0, 0.02);
+}
+
+TEST(Network, IncastPenaltyNeedsBothSendersAndConcurrency) {
+  sim::Simulation sim;
+  Network net(sim, 16, small_net());
+  // Below either threshold: full capacity.
+  EXPECT_DOUBLE_EQ(net.down_capacity_eff(4, 100), 100e6);
+  EXPECT_DOUBLE_EQ(net.down_capacity_eff(100, 4), 100e6);
+  // Beyond both: collapse, monotone in each factor.
+  EXPECT_LT(net.down_capacity_eff(10, 10), 100e6);
+  EXPECT_LT(net.down_capacity_eff(14, 10), net.down_capacity_eff(10, 10));
+  EXPECT_LT(net.down_capacity_eff(10, 20), net.down_capacity_eff(10, 10));
+}
+
+TEST(Network, FetchRegistrationCountsSendersAndRequests) {
+  sim::Simulation sim;
+  Network net(sim, 8, small_net());
+  net.register_fetch(1, 0);
+  net.register_fetch(1, 0);
+  net.register_fetch(2, 0);
+  EXPECT_EQ(net.fetches_to(0), 3);
+  EXPECT_EQ(net.senders_to(0), 2);
+  net.unregister_fetch(1, 0);
+  net.unregister_fetch(1, 0);
+  EXPECT_EQ(net.senders_to(0), 1);
+  net.unregister_fetch(2, 0);
+  EXPECT_EQ(net.fetches_to(0), 0);
+}
+
+TEST(Network, ManyToOneSlowerThanAggregateBandwidthSuggests) {
+  // 12 sources -> 1 destination with threshold 4: incast inflates completion
+  // beyond the no-penalty bound of total_bytes/down_bw.
+  sim::Simulation sim;
+  Network net(sim, 16, small_net());
+  int done = 0;
+  const Bytes each = static_cast<Bytes>(10e6);
+  for (int src = 1; src <= 12; ++src) {
+    net.transfer(src, 0, each, [&] { ++done; });
+  }
+  const double end = sim.run();
+  EXPECT_EQ(done, 12);
+  const double ideal = 12.0 * 10e6 / 100e6;  // 1.2 s without penalty
+  EXPECT_GT(end, ideal * 1.3);
+}
+
+TEST(Network, FlowCountersTrackActiveFlows) {
+  sim::Simulation sim;
+  Network net(sim, 4, small_net());
+  net.transfer(0, 1, static_cast<Bytes>(1e6), [] {});
+  net.transfer(0, 2, static_cast<Bytes>(1e6), [] {});
+  sim.run_until(0.001);
+  EXPECT_EQ(net.flows_from(0), 2);
+  EXPECT_EQ(net.flows_to(1), 1);
+  EXPECT_EQ(net.active_flows(), 2);
+  sim.run();
+  EXPECT_EQ(net.active_flows(), 0);
+  EXPECT_EQ(net.flows_from(0), 0);
+}
+
+TEST(Network, BytesAccounting) {
+  sim::Simulation sim;
+  Network net(sim, 4, small_net());
+  net.transfer(0, 1, 1000, [] {});
+  net.transfer(2, 1, 500, [] {});
+  sim.run();
+  EXPECT_EQ(net.bytes_sent(0), 1000);
+  EXPECT_EQ(net.bytes_sent(2), 500);
+  EXPECT_EQ(net.total_bytes(), 1500);
+}
+
+TEST(Network, PerFlowCapLimitsSingleStream) {
+  NetworkParams p = small_net();
+  p.per_flow_cap = 10e6;  // a lone stream cannot saturate the 100 MB/s link
+  sim::Simulation sim;
+  Network net(sim, 4, p);
+  bool done = false;
+  net.transfer(0, 1, static_cast<Bytes>(10e6), [&] { done = true; });
+  const double end = sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(end, 1.0, 0.02);  // 10 MB at 10 MB/s, not at 100 MB/s
+}
+
+TEST(Network, ManyFlowsStillFillTheLink) {
+  NetworkParams p = small_net();
+  p.per_flow_cap = 10e6;
+  p.incast_src_threshold = 16;  // below the knee: pure aggregation
+  sim::Simulation sim;
+  Network net(sim, 16, p);
+  int done = 0;
+  // 10 sources to one sink: 10 x 10 MB/s = link rate 100 MB/s.
+  for (int src = 1; src <= 10; ++src) {
+    net.transfer(src, 0, static_cast<Bytes>(10e6), [&] { ++done; });
+  }
+  const double end = sim.run();
+  EXPECT_EQ(done, 10);
+  EXPECT_NEAR(end, 1.0, 0.05);
+}
+
+TEST(Network, ZeroByteTransferCompletes) {
+  sim::Simulation sim;
+  Network net(sim, 4, small_net());
+  bool done = false;
+  net.transfer(0, 1, 0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Network, StaggeredArrivalsAdjustRates) {
+  // Second flow arrives halfway through the first; the first must slow down
+  // and finish later than it would alone.
+  sim::Simulation sim;
+  Network net(sim, 4, small_net());
+  double first_done = -1;
+  net.transfer(0, 1, static_cast<Bytes>(100e6), [&] { first_done = sim.now(); });
+  sim.schedule_at(0.5, [&] {
+    net.transfer(0, 2, static_cast<Bytes>(100e6), [] {});
+  });
+  sim.run();
+  EXPECT_GT(first_done, 1.2);  // alone it would finish at ~1.0
+}
+
+}  // namespace
+}  // namespace saex::hw

@@ -1,0 +1,183 @@
+// Real-thread tests for the resizable pool. These use wall-clock sleeps kept
+// short; generous margins avoid flakiness on loaded machines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "pool/dynamic_thread_pool.h"
+
+namespace saex::pool {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(DynamicThreadPool, ExecutesSubmittedTasks) {
+  DynamicThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(DynamicThreadPool, FutureReturnsValue) {
+  DynamicThreadPool pool(2);
+  auto f = pool.submit_future([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(DynamicThreadPool, FuturePropagatesException) {
+  DynamicThreadPool pool(2);
+  auto f = pool.submit_future([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(DynamicThreadPool, VoidFuture) {
+  DynamicThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  auto f = pool.submit_future([&] { ran = true; });
+  f.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(DynamicThreadPool, InitialSizeClampedToOne) {
+  DynamicThreadPool pool(0);
+  EXPECT_EQ(pool.pool_size(), 1);
+  EXPECT_EQ(pool.live_threads(), 1);
+}
+
+TEST(DynamicThreadPool, GrowSpawnsImmediately) {
+  DynamicThreadPool pool(2);
+  pool.set_pool_size(6);
+  EXPECT_EQ(pool.pool_size(), 6);
+  EXPECT_EQ(pool.live_threads(), 6);
+}
+
+TEST(DynamicThreadPool, ShrinkIsLazyButConverges) {
+  DynamicThreadPool pool(8);
+  pool.set_pool_size(2);
+  EXPECT_EQ(pool.pool_size(), 2);
+  // Idle workers should exit promptly.
+  for (int i = 0; i < 200 && pool.live_threads() > 2; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(pool.live_threads(), 2);
+}
+
+TEST(DynamicThreadPool, ConcurrencyBoundedByPoolSize) {
+  DynamicThreadPool pool(3);
+  std::atomic<int> concurrent{0}, peak{0}, done{0};
+  for (int i = 0; i < 30; ++i) {
+    pool.submit([&] {
+      const int c = concurrent.fetch_add(1) + 1;
+      int p = peak.load();
+      while (c > p && !peak.compare_exchange_weak(p, c)) {
+      }
+      std::this_thread::sleep_for(2ms);
+      concurrent.fetch_sub(1);
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 30);
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_GE(peak.load(), 2);  // parallelism actually happened
+}
+
+TEST(DynamicThreadPool, ShrinkDoesNotStrandQueuedWork) {
+  DynamicThreadPool pool(8);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(1ms);
+      done.fetch_add(1);
+    });
+  }
+  pool.set_pool_size(1);
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(DynamicThreadPool, GrowWhileBusyIncreasesThroughput) {
+  DynamicThreadPool pool(1);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 40; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(2ms);
+      done.fetch_add(1);
+    });
+  }
+  pool.set_pool_size(8);
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 40);
+  EXPECT_EQ(pool.live_threads(), 8);
+}
+
+TEST(DynamicThreadPool, ResizeFromWithinATask) {
+  DynamicThreadPool pool(2);
+  auto f = pool.submit_future([&] {
+    pool.set_pool_size(5);
+    return pool.pool_size();
+  });
+  EXPECT_EQ(f.get(), 5);
+  pool.wait_idle();
+  EXPECT_EQ(pool.live_threads(), 5);
+}
+
+TEST(DynamicThreadPool, SubmitAfterShutdownThrows) {
+  DynamicThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(DynamicThreadPool, ShutdownDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    DynamicThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(1ms);
+        done.fetch_add(1);
+      });
+    }
+    // Destructor performs shutdown.
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(DynamicThreadPool, StatsCountCompletions) {
+  DynamicThreadPool pool(4);
+  for (int i = 0; i < 25; ++i) pool.submit([] {});
+  pool.wait_idle();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.submitted, 25u);
+  EXPECT_EQ(s.completed, 25u);
+  EXPECT_GE(s.total_busy_seconds, 0.0);
+}
+
+TEST(DynamicThreadPool, RepeatedResizeStress) {
+  DynamicThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::atomic<bool> stop{false};
+  std::thread resizer([&] {
+    int sizes[] = {2, 8, 1, 6, 3, 8, 2, 4};
+    int i = 0;
+    while (!stop.load()) {
+      pool.set_pool_size(sizes[i++ % 8]);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  for (int i = 0; i < 300; ++i) {
+    pool.submit([&] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  stop = true;
+  resizer.join();
+  EXPECT_EQ(done.load(), 300);
+}
+
+}  // namespace
+}  // namespace saex::pool

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "procmon/procfs.h"
+#include "procmon/sampler.h"
+
+namespace saex::procmon {
+namespace {
+
+constexpr const char* kProcStat =
+    "cpu  10 2 5 100 7 1 1 0 0 0\n"
+    "cpu0 5 1 2 50 4 0 0 0 0 0\n"
+    "cpu1 5 1 3 50 3 1 1 0 0 0\n"
+    "intr 12345\n";
+
+TEST(ProcStat, ParsesAggregateLine) {
+  const auto cpu = parse_proc_stat(kProcStat);
+  ASSERT_TRUE(cpu.has_value());
+  EXPECT_EQ(cpu->user, 10u);
+  EXPECT_EQ(cpu->nice, 2u);
+  EXPECT_EQ(cpu->system, 5u);
+  EXPECT_EQ(cpu->idle, 100u);
+  EXPECT_EQ(cpu->iowait, 7u);
+  EXPECT_EQ(cpu->total(), 126u);
+  EXPECT_EQ(cpu->busy(), 19u);
+}
+
+TEST(ProcStat, MissingAggregateReturnsNullopt) {
+  EXPECT_FALSE(parse_proc_stat("cpu0 1 2 3 4\n").has_value());
+  EXPECT_FALSE(parse_proc_stat("").has_value());
+}
+
+constexpr const char* kDiskstats =
+    "   8       0 sda 1000 10 200000 500 2000 20 400000 900 0 1500 1400\n"
+    "   8       1 sda1 900 9 190000 450 1900 19 390000 850 0 1400 1300\n"
+    " 259       0 nvme0n1 500 0 100000 100 600 0 120000 200 2 300 350\n";
+
+TEST(Diskstats, ParsesDevices) {
+  const auto disks = parse_diskstats(kDiskstats);
+  ASSERT_EQ(disks.size(), 3u);
+  const DiskStats& sda = disks.at("sda");
+  EXPECT_EQ(sda.reads_completed, 1000u);
+  EXPECT_EQ(sda.sectors_read, 200000u);
+  EXPECT_EQ(sda.bytes_read(), 200000u * 512);
+  EXPECT_EQ(sda.writes_completed, 2000u);
+  EXPECT_EQ(sda.bytes_written(), 400000u * 512);
+  EXPECT_EQ(sda.io_ticks_ms, 1500u);
+  EXPECT_EQ(sda.time_in_queue_ms, 1400u);
+  EXPECT_EQ(disks.at("nvme0n1").io_in_progress, 2u);
+}
+
+TEST(Diskstats, IgnoresMalformedLines) {
+  const auto disks = parse_diskstats("8 0 sda 1 2 3\nnot a line\n");
+  EXPECT_TRUE(disks.empty());
+}
+
+constexpr const char* kProcIo =
+    "rchar: 3000\n"
+    "wchar: 2000\n"
+    "syscr: 100\n"
+    "syscw: 50\n"
+    "read_bytes: 1024\n"
+    "write_bytes: 512\n"
+    "cancelled_write_bytes: 0\n";
+
+TEST(ProcIo, ParsesCounters) {
+  const auto io = parse_proc_io(kProcIo);
+  ASSERT_TRUE(io.has_value());
+  EXPECT_EQ(io->rchar, 3000u);
+  EXPECT_EQ(io->wchar, 2000u);
+  EXPECT_EQ(io->read_bytes, 1024u);
+  EXPECT_EQ(io->write_bytes, 512u);
+}
+
+TEST(ProcIo, EmptyReturnsNullopt) {
+  EXPECT_FALSE(parse_proc_io("").has_value());
+  EXPECT_FALSE(parse_proc_io("nothing: here\n").has_value());
+}
+
+TEST(SamplerDelta, ComputesRatesAndFractions) {
+  SystemSnapshot a, b;
+  a.wall_seconds = 100.0;
+  b.wall_seconds = 102.0;  // 2-second interval
+  a.cpu = CpuTimes{10, 0, 10, 60, 20, 0, 0, 0};
+  b.cpu = CpuTimes{40, 0, 20, 100, 40, 0, 0, 0};
+  // delta: busy = (60-20)=40, iowait = 20, total = 100
+  DiskStats da, db;
+  da.sectors_read = 0;
+  da.sectors_written = 0;
+  da.io_ticks_ms = 0;
+  db.sectors_read = 4096;        // 2 MiB
+  db.sectors_written = 2048;     // 1 MiB
+  db.io_ticks_ms = 1000;         // busy 1s of 2s
+  a.disks["sda"] = da;
+  b.disks["sda"] = db;
+
+  const SystemDelta d = Sampler::delta(a, b);
+  EXPECT_DOUBLE_EQ(d.interval_seconds, 2.0);
+  EXPECT_NEAR(d.cpu_busy_fraction, 0.4, 1e-9);
+  EXPECT_NEAR(d.cpu_iowait_fraction, 0.2, 1e-9);
+  EXPECT_NEAR(d.disk_read_bps, 4096 * 512 / 2.0, 1e-6);
+  EXPECT_NEAR(d.disk_write_bps, 2048 * 512 / 2.0, 1e-6);
+  EXPECT_NEAR(d.disk_utilization, 0.5, 1e-9);
+}
+
+TEST(SamplerDelta, SkipsPartitionRows) {
+  SystemSnapshot a, b;
+  a.wall_seconds = 0;
+  b.wall_seconds = 1;
+  DiskStats zero, one;
+  one.sectors_read = 1000;
+  a.disks["sda"] = zero;
+  b.disks["sda"] = one;
+  a.disks["sda1"] = zero;
+  b.disks["sda1"] = one;  // partition must not double-count
+  const SystemDelta d = Sampler::delta(a, b);
+  EXPECT_NEAR(d.disk_read_bps, 1000 * 512.0, 1e-6);
+}
+
+TEST(SamplerDelta, ZeroIntervalIsSafe) {
+  SystemSnapshot a;
+  const SystemDelta d = Sampler::delta(a, a);
+  EXPECT_DOUBLE_EQ(d.interval_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(d.disk_read_bps, 0.0);
+}
+
+TEST(SamplerLive, ReadsRealProcWhenAvailable) {
+  // On Linux /proc exists; this exercises the live path end-to-end.
+  Sampler sampler("/proc");
+  const SystemSnapshot snap = sampler.snapshot();
+  EXPECT_GT(snap.cpu.total(), 0u);
+  EXPECT_GT(snap.wall_seconds, 0.0);
+}
+
+TEST(ReadFile, MissingFileYieldsEmpty) {
+  EXPECT_TRUE(read_file("/definitely/not/a/file").empty());
+}
+
+}  // namespace
+}  // namespace saex::procmon
+
+namespace saex::procmon {
+namespace {
+
+constexpr const char* kNetDev =
+    "Inter-|   Receive                                                |  Transmit\n"
+    " face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed\n"
+    "    lo:  123456     789    0    0    0     0          0         0   123456     789    0    0    0     0       0          0\n"
+    "  eth0: 99999999   55555    2    1    0     0          0         0  88888888   44444    3    4    0     0       0          0\n";
+
+TEST(NetDev, ParsesInterfaces) {
+  const auto ifs = parse_net_dev(kNetDev);
+  ASSERT_EQ(ifs.size(), 2u);
+  const NetDevStats& eth = ifs.at("eth0");
+  EXPECT_EQ(eth.rx_bytes, 99999999u);
+  EXPECT_EQ(eth.rx_packets, 55555u);
+  EXPECT_EQ(eth.rx_errors, 2u);
+  EXPECT_EQ(eth.rx_dropped, 1u);
+  EXPECT_EQ(eth.tx_bytes, 88888888u);
+  EXPECT_EQ(eth.tx_packets, 44444u);
+  EXPECT_EQ(ifs.at("lo").rx_bytes, 123456u);
+}
+
+TEST(NetDev, IgnoresHeadersAndEmpty) {
+  EXPECT_TRUE(parse_net_dev("").empty());
+  EXPECT_TRUE(parse_net_dev("Inter-| Receive\n face |bytes\n").empty());
+}
+
+TEST(NetDev, ReadsLiveProcWhenAvailable) {
+  const auto ifs = parse_net_dev(read_file("/proc/net/dev"));
+  EXPECT_FALSE(ifs.empty());  // at least loopback on any Linux box
+}
+
+}  // namespace
+}  // namespace saex::procmon

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace saex::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3.0);
+}
+
+TEST(Simulation, SimultaneousEventsFifo) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation s;
+  double fired_at = -1;
+  s.schedule_at(5.0, [&] {
+    s.schedule_after(2.5, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulation, PastSchedulingClampsToNow) {
+  Simulation s;
+  double fired_at = -1;
+  s.schedule_at(5.0, [&] {
+    s.schedule_at(1.0, [&] { fired_at = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation s;
+  bool fired = false;
+  const EventId id = s.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // double-cancel is a no-op
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.processed(), 0u);
+}
+
+TEST(Simulation, CancelFromWithinEvent) {
+  Simulation s;
+  bool fired = false;
+  const EventId id = s.schedule_at(2.0, [&] { fired = true; });
+  s.schedule_at(1.0, [&] { s.cancel(id); });
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilStopsAtLimit) {
+  Simulation s;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    s.schedule_at(t, [&times, &s] { times.push_back(s.now()); });
+  }
+  EXPECT_TRUE(s.run_until(2.5));
+  EXPECT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+  EXPECT_FALSE(s.run_until(10.0));
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(Simulation, RunUntilAdvancesTimeWhenQueueEmpty) {
+  Simulation s;
+  EXPECT_FALSE(s.run_until(42.0));
+  EXPECT_DOUBLE_EQ(s.now(), 42.0);
+}
+
+TEST(Simulation, StepProcessesOneEvent) {
+  Simulation s;
+  int count = 0;
+  s.schedule_at(1.0, [&] { ++count; });
+  s.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, PendingCountsLiveEvents) {
+  Simulation s;
+  const EventId a = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulation, CascadingEventsTerminate) {
+  Simulation s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 1000) s.schedule_after(0.001, chain);
+  };
+  s.schedule_at(0.0, chain);
+  s.run();
+  EXPECT_EQ(depth, 1000);
+  EXPECT_NEAR(s.now(), 0.999, 1e-9);
+}
+
+}  // namespace
+}  // namespace saex::sim

@@ -1,0 +1,231 @@
+// Workload definitions: stage structure, byte accounting vs Table 2, and
+// the headline end-to-end orderings from the paper's evaluation.
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.h"
+
+namespace saex::workloads {
+namespace {
+
+engine::JobReport run_default(const WorkloadSpec& spec, uint64_t seed = 42) {
+  hw::ClusterSpec cs = hw::ClusterSpec::das5(4);
+  cs.seed = seed;
+  hw::Cluster cluster(cs);
+  return run(spec, cluster, conf::Config{});
+}
+
+engine::JobReport run_policy(const WorkloadSpec& spec, const char* policy,
+                             int io_threads = 8) {
+  hw::Cluster cluster(hw::ClusterSpec::das5(4));
+  conf::Config config;
+  config.set("saex.executor.policy", policy);
+  config.set_int("saex.static.ioThreads", io_threads);
+  return run(spec, cluster, std::move(config));
+}
+
+TEST(Workloads, Table2SetHasNineApplications) {
+  const auto all = table2_workloads();
+  EXPECT_EQ(all.size(), 9u);
+  for (const auto& w : all) {
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_GT(w.input_size, 0);
+    EXPECT_GT(w.paper_io_ratio, 0.0);
+    EXPECT_TRUE(w.build != nullptr);
+  }
+}
+
+TEST(Workloads, TerasortHasThreeIoTaggedStages) {
+  const auto report = run_default(terasort(gib(8)));
+  ASSERT_EQ(report.stages.size(), 3u);
+  for (const auto& s : report.stages) EXPECT_TRUE(s.io_tagged);
+  // Paper §4: stage 0 and 1 read, stage 2 writes the sorted output.
+  EXPECT_GT(report.stages[0].disk_read, 0);
+  EXPECT_GT(report.stages[2].disk_written, 0);
+}
+
+TEST(Workloads, PagerankMiddleStagesAreNotIoTagged) {
+  const auto report = run_default(pagerank(gib(2), 4));
+  ASSERT_EQ(report.stages.size(), 6u);
+  EXPECT_TRUE(report.stages[0].io_tagged);
+  for (size_t i = 1; i + 1 < report.stages.size(); ++i) {
+    EXPECT_FALSE(report.stages[i].io_tagged) << "stage " << i;
+  }
+  EXPECT_TRUE(report.stages.back().io_tagged);
+}
+
+TEST(Workloads, JoinHasThreeStages) {
+  const auto report = run_default(join(gib(2)));
+  ASSERT_EQ(report.stages.size(), 3u);
+  EXPECT_TRUE(report.stages[0].io_tagged);
+  EXPECT_TRUE(report.stages[1].io_tagged);
+  EXPECT_TRUE(report.stages[2].io_tagged);  // writes the join output
+}
+
+TEST(Workloads, AggregationHasTwoStages) {
+  const auto report = run_default(aggregation(gib(2)));
+  ASSERT_EQ(report.stages.size(), 2u);
+}
+
+TEST(Workloads, SvmSpillsItsCache) {
+  // 107 GiB cached against a ~16.8 GiB/node storage budget must spill.
+  hw::Cluster cluster(hw::ClusterSpec::das5(4));
+  conf::Config config;
+  engine::SparkContext ctx(cluster, config);
+  const auto spec = svm();
+  const auto actions = spec.build(ctx);
+  ASSERT_EQ(actions.size(), 2u);
+  (void)ctx.run_job(actions[0], "svm-pass1");
+  Bytes spilled = 0;
+  for (int n = 0; n < 4; ++n) {
+    spilled += ctx.executor(n).storage_used();
+  }
+  // Storage budgets are full (cache did not fit).
+  EXPECT_GT(spilled, gib(60));
+}
+
+// Table 2 reproduction: measured I/O-activity multiplier within a factor
+// band of the paper's. The multipliers span 1.18x..36.5x, so matching the
+// ordering and magnitude (not the decimals) is the meaningful check.
+class Table2Test : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Table2Test, IoActivityRatioNearPaper) {
+  const WorkloadSpec spec = table2_workloads()[GetParam()];
+  // Scale very large inputs down for test speed; ratios are size-invariant
+  // to first order (block counts stay >> node count).
+  const Bytes input = std::min(spec.input_size, gib(8));
+  WorkloadSpec scaled = spec;
+  if (input != spec.input_size) {
+    // Rebuild with the scaled size through the named constructors.
+    if (spec.name == "terasort") scaled = terasort(input);
+    if (spec.name == "svm") scaled = svm(input);
+    scaled.paper_io_ratio = spec.paper_io_ratio;
+  }
+  const auto report = run_default(scaled);
+  const double measured = static_cast<double>(report.total_disk_bytes) /
+                          static_cast<double>(report.input_bytes);
+  EXPECT_GT(measured, spec.paper_io_ratio * 0.5)
+      << spec.name << " measured " << measured;
+  EXPECT_LT(measured, spec.paper_io_ratio * 2.0)
+      << spec.name << " measured " << measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, Table2Test,
+                         ::testing::Range<size_t>(0, 9),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return table2_workloads()[info.param].name;
+                         });
+
+// ---- headline orderings from the evaluation (§6.2) ----
+
+TEST(Evaluation, TerasortTunedBeatsDefault) {
+  const auto spec = terasort(gib(24));
+  const double def = run_policy(spec, "default").total_runtime;
+  const double st8 = run_policy(spec, "static", 8).total_runtime;
+  const double dyn = run_policy(spec, "dynamic").total_runtime;
+  // Paper: static-8 ~39% faster, dynamic ~34% faster.
+  EXPECT_LT(st8, 0.75 * def);
+  EXPECT_LT(dyn, 0.80 * def);
+}
+
+TEST(Evaluation, TerasortTwoThreadsAlsoBad) {
+  const auto spec = terasort(gib(24));
+  const double def = run_policy(spec, "default").total_runtime;
+  const double st2 = run_policy(spec, "static", 2).total_runtime;
+  const double st8 = run_policy(spec, "static", 8).total_runtime;
+  // U-shape: both extremes lose to the middle.
+  EXPECT_GT(st2, st8 * 1.3);
+  EXPECT_LT(st2, def * 1.2);
+}
+
+TEST(Evaluation, PagerankDynamicBeatsStatic) {
+  const auto spec = pagerank(gib(18.56), 4);
+  const double def = run_policy(spec, "default").total_runtime;
+  const double st = run_policy(spec, "static", 16).total_runtime;
+  const double dyn = run_policy(spec, "dynamic").total_runtime;
+  // Paper: static gains are small (~19%), dynamic large (~54%) because only
+  // the dynamic solution tunes the shuffle stages (L2).
+  EXPECT_LT(dyn, 0.8 * def);
+  EXPECT_LT(dyn, st);
+}
+
+TEST(Evaluation, AggregationStaticDoesNotHelp) {
+  const auto spec = aggregation();
+  const double def = run_policy(spec, "default").total_runtime;
+  const double st8 = run_policy(spec, "static", 8).total_runtime;
+  const double st2 = run_policy(spec, "static", 2).total_runtime;
+  // Paper Fig. 4a: every reduced static setting is worse than default.
+  EXPECT_GT(st8, def);
+  EXPECT_GT(st2, st8);
+}
+
+TEST(Evaluation, JoinDefaultIsBestStaticSetting) {
+  const auto spec = join();
+  const double def = run_policy(spec, "default").total_runtime;
+  for (int t : {16, 8, 4}) {
+    EXPECT_GT(run_policy(spec, "static", t).total_runtime, def) << t;
+  }
+}
+
+TEST(Evaluation, DynamicSettlesPerStagePerExecutor) {
+  hw::Cluster cluster(hw::ClusterSpec::das5(4));
+  conf::Config config;
+  config.set("saex.executor.policy", "dynamic");
+  const auto report = run(terasort(gib(24)), cluster, std::move(config));
+  // Fig. 6: every executor settles within bounds; values may differ across
+  // stages (stage 0 read-only vs stage 2 shuffle+write).
+  for (const auto& s : report.stages) {
+    for (const auto& es : s.executors) {
+      EXPECT_GE(es.threads_settled, 2);
+      EXPECT_LE(es.threads_settled, 32);
+    }
+  }
+}
+
+TEST(Evaluation, WorkloadRunsAreDeterministic) {
+  const auto spec = pagerank(gib(4), 3);
+  const double a = run_default(spec, 7).total_runtime;
+  const double b = run_default(spec, 7).total_runtime;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace saex::workloads
+
+namespace saex::workloads {
+namespace {
+
+TEST(ExtraWorkloads, AllRunToCompletion) {
+  for (const auto& spec : extra_workloads()) {
+    hw::Cluster cluster(hw::ClusterSpec::das5(4));
+    const auto report = run(spec, cluster, conf::Config{});
+    EXPECT_GT(report.total_runtime, 0.0) << spec.name;
+    EXPECT_GT(report.total_disk_bytes, 0) << spec.name;
+    EXPECT_FALSE(report.stages.empty()) << spec.name;
+  }
+}
+
+TEST(ExtraWorkloads, WordcountShuffleIsTiny) {
+  hw::Cluster cluster(hw::ClusterSpec::das5(4));
+  engine::SparkContext ctx(cluster, conf::Config{});
+  const auto spec = wordcount(gib(8));
+  for (const auto& a : spec.build(ctx)) (void)ctx.run_job(a, spec.name);
+  // The combiner crushed the data: shuffle 0 carries ~3% of the input.
+  EXPECT_LT(ctx.shuffles().total_output(0), gib(8) / 16);
+}
+
+TEST(ExtraWorkloads, KmeansIterationsReadFromCache) {
+  hw::Cluster cluster(hw::ClusterSpec::das5(4));
+  engine::SparkContext ctx(cluster, conf::Config{});
+  const auto spec = kmeans(gib(8), 3);
+  const auto actions = spec.build(ctx);
+  ASSERT_EQ(actions.size(), 3u);
+  (void)ctx.run_job(actions[0], "k1");
+  const Bytes after_first = cluster.total_disk_bytes();
+  (void)ctx.run_job(actions[1], "k2");
+  const Bytes after_second = cluster.total_disk_bytes();
+  // The second iteration reads the cached vectors: almost no new disk I/O.
+  EXPECT_LT(after_second - after_first, (after_first) / 10);
+}
+
+}  // namespace
+}  // namespace saex::workloads

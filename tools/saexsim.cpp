@@ -1,0 +1,247 @@
+// saexsim — command-line front end for the simulator.
+//
+// Run any workload under any executor policy on a parameterized cluster,
+// print the per-stage report, and optionally export the event log:
+//
+//   saexsim --workload terasort --policy dynamic
+//   saexsim --workload pagerank --policy sweep            # static {32..2}
+//   saexsim --workload join --nodes 16 --ssd --seed 7
+//   saexsim --workload terasort --policy dynamic --trace /tmp/run.json
+//   saexsim --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "common/log.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace saex;
+
+struct Args {
+  std::string workload = "terasort";
+  std::string policy = "dynamic";
+  int nodes = 4;
+  bool ssd = false;
+  uint64_t seed = 42;
+  int io_threads = 8;
+  double size_gib = 0.0;  // 0 = workload preset
+  int parallelism = 0;    // 0 = nodes * 32
+  double failure_prob = 0.0;
+  bool speculation = false;
+  std::string eventlog_path;
+  std::string trace_path;
+  bool list = false;
+  bool help = false;
+};
+
+void usage() {
+  std::puts(
+      "saexsim — self-adaptive-executor simulator\n"
+      "\n"
+      "  --workload NAME     terasort|pagerank|aggregation|join|scan|bayes|\n"
+      "                      lda|nweight|svm (default terasort); --list shows all\n"
+      "  --policy P          default|static|dynamic|sweep (default dynamic);\n"
+      "                      sweep runs the static {32,16,8,4,2} series\n"
+      "  --io-threads N      static policy thread count (default 8)\n"
+      "  --nodes N           cluster size (default 4)\n"
+      "  --ssd               SSDs instead of HDDs\n"
+      "  --seed S            cluster heterogeneity seed (default 42)\n"
+      "  --size-gib X        override the workload's input size\n"
+      "  --parallelism P     shuffle partitions (default nodes*32)\n"
+      "  --failures P        per-attempt task failure probability\n"
+      "  --speculation       enable speculative execution\n"
+      "  --eventlog FILE     write the event log as JSON lines\n"
+      "  --trace FILE        write a chrome://tracing file\n"
+      "  --verbose           INFO-level engine logging\n");
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--workload") {
+      args.workload = value();
+    } else if (a == "--policy") {
+      args.policy = value();
+    } else if (a == "--io-threads") {
+      args.io_threads = std::atoi(value());
+    } else if (a == "--nodes") {
+      args.nodes = std::atoi(value());
+    } else if (a == "--ssd") {
+      args.ssd = true;
+    } else if (a == "--seed") {
+      args.seed = std::strtoull(value(), nullptr, 10);
+    } else if (a == "--size-gib") {
+      args.size_gib = std::atof(value());
+    } else if (a == "--parallelism") {
+      args.parallelism = std::atoi(value());
+    } else if (a == "--failures") {
+      args.failure_prob = std::atof(value());
+    } else if (a == "--speculation") {
+      args.speculation = true;
+    } else if (a == "--eventlog") {
+      args.eventlog_path = value();
+    } else if (a == "--trace") {
+      args.trace_path = value();
+    } else if (a == "--verbose") {
+      log::set_level(log::Level::kInfo);
+    } else if (a == "--list") {
+      args.list = true;
+    } else if (a == "--help" || a == "-h") {
+      args.help = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", a.c_str());
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+std::optional<workloads::WorkloadSpec> find_workload(const std::string& name,
+                                                     double size_gib) {
+  const Bytes size = size_gib > 0 ? gib(size_gib) : 0;
+  auto sized = [&](workloads::WorkloadSpec preset,
+                   auto remake) -> workloads::WorkloadSpec {
+    return size > 0 ? remake(size) : preset;
+  };
+  if (name == "terasort")
+    return sized(workloads::terasort(), [](Bytes b) { return workloads::terasort(b); });
+  if (name == "pagerank")
+    return sized(workloads::pagerank(), [](Bytes b) { return workloads::pagerank(b); });
+  if (name == "aggregation")
+    return sized(workloads::aggregation(), [](Bytes b) { return workloads::aggregation(b); });
+  if (name == "join")
+    return sized(workloads::join(), [](Bytes b) { return workloads::join(b); });
+  if (name == "scan")
+    return sized(workloads::scan(), [](Bytes b) { return workloads::scan(b); });
+  if (name == "bayes")
+    return sized(workloads::bayes(), [](Bytes b) { return workloads::bayes(b); });
+  if (name == "lda")
+    return sized(workloads::lda(), [](Bytes b) { return workloads::lda(b); });
+  if (name == "nweight")
+    return sized(workloads::nweight(), [](Bytes b) { return workloads::nweight(b); });
+  if (name == "svm")
+    return sized(workloads::svm(), [](Bytes b) { return workloads::svm(b); });
+  if (name == "wordcount")
+    return sized(workloads::wordcount(), [](Bytes b) { return workloads::wordcount(b); });
+  if (name == "sort")
+    return sized(workloads::sort(), [](Bytes b) { return workloads::sort(b); });
+  if (name == "kmeans")
+    return sized(workloads::kmeans(), [](Bytes b) { return workloads::kmeans(b); });
+  return std::nullopt;
+}
+
+conf::Config make_config(const Args& args, const std::string& policy) {
+  conf::Config config;
+  config.set("saex.executor.policy", policy == "sweep" ? "static" : policy);
+  config.set_int("saex.static.ioThreads", args.io_threads);
+  config.set_int("spark.default.parallelism",
+                 args.parallelism > 0 ? args.parallelism : args.nodes * 32);
+  config.set_double("saex.sim.taskFailureProb", args.failure_prob);
+  config.set_bool("spark.speculation", args.speculation);
+  return config;
+}
+
+int run_once(const Args& args, const workloads::WorkloadSpec& spec,
+             const std::string& policy, int io_threads) {
+  hw::ClusterSpec cs = args.ssd ? hw::ClusterSpec::das5_ssd(args.nodes)
+                                : hw::ClusterSpec::das5(args.nodes);
+  cs.seed = args.seed;
+  hw::Cluster cluster(cs);
+
+  conf::Config config = make_config(args, policy);
+  config.set_int("saex.static.ioThreads", io_threads);
+
+  engine::SparkContext ctx(cluster, std::move(config));
+  engine::JobReport report;
+  bool first = true;
+  for (const engine::Rdd& action : spec.build(ctx)) {
+    engine::JobReport r = ctx.run_job(action, spec.name);
+    if (first) {
+      report = std::move(r);
+      first = false;
+    } else {
+      report.total_runtime += r.total_runtime;
+      report.total_disk_bytes += r.total_disk_bytes;
+      for (auto& s : r.stages) report.stages.push_back(std::move(s));
+    }
+  }
+  for (size_t i = 0; i < report.stages.size(); ++i) {
+    report.stages[i].ordinal = static_cast<int>(i);
+  }
+  report.input_bytes = spec.input_size;
+  std::printf("%s\n", report.render().c_str());
+
+  if (!args.eventlog_path.empty()) {
+    const bool ok = engine::EventLog::write_file(
+        args.eventlog_path, ctx.event_log().to_json_lines());
+    std::printf("%s event log -> %s\n", ok ? "wrote" : "FAILED to write",
+                args.eventlog_path.c_str());
+  }
+  if (!args.trace_path.empty()) {
+    const bool ok = engine::EventLog::write_file(
+        args.trace_path, ctx.event_log().to_chrome_trace());
+    std::printf("%s chrome trace -> %s (open in chrome://tracing)\n",
+                ok ? "wrote" : "FAILED to write", args.trace_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) return 2;
+  const Args& args = *parsed;
+  if (args.help) {
+    usage();
+    return 0;
+  }
+  if (args.list) {
+    std::printf("%-12s %-10s %-12s %s\n", "name", "type", "input", "paper I/O ratio");
+    for (const auto& w : workloads::table2_workloads()) {
+      std::printf("%-12s %-10s %-12s %.2fx\n", w.name.c_str(), w.type.c_str(),
+                  format_bytes(w.input_size).c_str(), w.paper_io_ratio);
+    }
+    for (const auto& w : workloads::extra_workloads()) {
+      std::printf("%-12s %-10s %-12s (extension)\n", w.name.c_str(),
+                  w.type.c_str(), format_bytes(w.input_size).c_str());
+    }
+    return 0;
+  }
+
+  const auto spec = find_workload(args.workload, args.size_gib);
+  if (!spec) {
+    std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                 args.workload.c_str());
+    return 2;
+  }
+
+  if (args.policy == "sweep") {
+    for (const int t : {32, 16, 8, 4, 2}) {
+      std::printf("==== static, %d threads on I/O stages ====\n", t);
+      run_once(args, *spec, "static", t);
+    }
+    return 0;
+  }
+  if (args.policy != "default" && args.policy != "static" &&
+      args.policy != "dynamic") {
+    std::fprintf(stderr, "unknown policy '%s'\n", args.policy.c_str());
+    return 2;
+  }
+  return run_once(args, *spec, args.policy, args.io_threads);
+}
