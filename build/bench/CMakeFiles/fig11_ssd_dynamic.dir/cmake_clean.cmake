@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ssd_dynamic.dir/fig11_ssd_dynamic.cpp.o"
+  "CMakeFiles/fig11_ssd_dynamic.dir/fig11_ssd_dynamic.cpp.o.d"
+  "fig11_ssd_dynamic"
+  "fig11_ssd_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ssd_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

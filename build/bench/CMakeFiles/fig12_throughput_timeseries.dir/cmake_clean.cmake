@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_throughput_timeseries.dir/fig12_throughput_timeseries.cpp.o"
+  "CMakeFiles/fig12_throughput_timeseries.dir/fig12_throughput_timeseries.cpp.o.d"
+  "fig12_throughput_timeseries"
+  "fig12_throughput_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throughput_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

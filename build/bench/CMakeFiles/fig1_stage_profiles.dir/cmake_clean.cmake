@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_stage_profiles.dir/fig1_stage_profiles.cpp.o"
+  "CMakeFiles/fig1_stage_profiles.dir/fig1_stage_profiles.cpp.o.d"
+  "fig1_stage_profiles"
+  "fig1_stage_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_stage_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

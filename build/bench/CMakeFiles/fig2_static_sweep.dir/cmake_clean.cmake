@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_static_sweep.dir/fig2_static_sweep.cpp.o"
+  "CMakeFiles/fig2_static_sweep.dir/fig2_static_sweep.cpp.o.d"
+  "fig2_static_sweep"
+  "fig2_static_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_static_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_node_variability.dir/fig3_node_variability.cpp.o"
+  "CMakeFiles/fig3_node_variability.dir/fig3_node_variability.cpp.o.d"
+  "fig3_node_variability"
+  "fig3_node_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_node_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

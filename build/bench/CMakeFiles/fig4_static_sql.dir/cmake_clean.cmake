@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_static_sql.dir/fig4_static_sql.cpp.o"
+  "CMakeFiles/fig4_static_sql.dir/fig4_static_sql.cpp.o.d"
+  "fig4_static_sql"
+  "fig4_static_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_static_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_disk_utilization.dir/fig5_disk_utilization.cpp.o"
+  "CMakeFiles/fig5_disk_utilization.dir/fig5_disk_utilization.cpp.o.d"
+  "fig5_disk_utilization"
+  "fig5_disk_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_disk_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

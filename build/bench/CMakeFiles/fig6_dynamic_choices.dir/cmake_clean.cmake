@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dynamic_choices.dir/fig6_dynamic_choices.cpp.o"
+  "CMakeFiles/fig6_dynamic_choices.dir/fig6_dynamic_choices.cpp.o.d"
+  "fig6_dynamic_choices"
+  "fig6_dynamic_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dynamic_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

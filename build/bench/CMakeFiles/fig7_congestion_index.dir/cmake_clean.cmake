@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_congestion_index.dir/fig7_congestion_index.cpp.o"
+  "CMakeFiles/fig7_congestion_index.dir/fig7_congestion_index.cpp.o.d"
+  "fig7_congestion_index"
+  "fig7_congestion_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_congestion_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_congestion_index.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_endtoend.dir/fig8_endtoend.cpp.o"
+  "CMakeFiles/fig8_endtoend.dir/fig8_endtoend.cpp.o.d"
+  "fig8_endtoend"
+  "fig8_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_io_activity.dir/table2_io_activity.cpp.o"
+  "CMakeFiles/table2_io_activity.dir/table2_io_activity.cpp.o.d"
+  "table2_io_activity"
+  "table2_io_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_io_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_file_processor.dir/adaptive_file_processor.cpp.o"
+  "CMakeFiles/adaptive_file_processor.dir/adaptive_file_processor.cpp.o.d"
+  "adaptive_file_processor"
+  "adaptive_file_processor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_file_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_disk_model.dir/explore_disk_model.cpp.o"
+  "CMakeFiles/explore_disk_model.dir/explore_disk_model.cpp.o.d"
+  "explore_disk_model"
+  "explore_disk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_disk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

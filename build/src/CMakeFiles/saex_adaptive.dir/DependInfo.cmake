@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/analyzer.cpp" "src/CMakeFiles/saex_adaptive.dir/adaptive/analyzer.cpp.o" "gcc" "src/CMakeFiles/saex_adaptive.dir/adaptive/analyzer.cpp.o.d"
+  "/root/repo/src/adaptive/controller.cpp" "src/CMakeFiles/saex_adaptive.dir/adaptive/controller.cpp.o" "gcc" "src/CMakeFiles/saex_adaptive.dir/adaptive/controller.cpp.o.d"
+  "/root/repo/src/adaptive/executor.cpp" "src/CMakeFiles/saex_adaptive.dir/adaptive/executor.cpp.o" "gcc" "src/CMakeFiles/saex_adaptive.dir/adaptive/executor.cpp.o.d"
+  "/root/repo/src/adaptive/monitor.cpp" "src/CMakeFiles/saex_adaptive.dir/adaptive/monitor.cpp.o" "gcc" "src/CMakeFiles/saex_adaptive.dir/adaptive/monitor.cpp.o.d"
+  "/root/repo/src/adaptive/planner.cpp" "src/CMakeFiles/saex_adaptive.dir/adaptive/planner.cpp.o" "gcc" "src/CMakeFiles/saex_adaptive.dir/adaptive/planner.cpp.o.d"
+  "/root/repo/src/adaptive/policies.cpp" "src/CMakeFiles/saex_adaptive.dir/adaptive/policies.cpp.o" "gcc" "src/CMakeFiles/saex_adaptive.dir/adaptive/policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/saex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_adaptive.dir/adaptive/analyzer.cpp.o"
+  "CMakeFiles/saex_adaptive.dir/adaptive/analyzer.cpp.o.d"
+  "CMakeFiles/saex_adaptive.dir/adaptive/controller.cpp.o"
+  "CMakeFiles/saex_adaptive.dir/adaptive/controller.cpp.o.d"
+  "CMakeFiles/saex_adaptive.dir/adaptive/executor.cpp.o"
+  "CMakeFiles/saex_adaptive.dir/adaptive/executor.cpp.o.d"
+  "CMakeFiles/saex_adaptive.dir/adaptive/monitor.cpp.o"
+  "CMakeFiles/saex_adaptive.dir/adaptive/monitor.cpp.o.d"
+  "CMakeFiles/saex_adaptive.dir/adaptive/planner.cpp.o"
+  "CMakeFiles/saex_adaptive.dir/adaptive/planner.cpp.o.d"
+  "CMakeFiles/saex_adaptive.dir/adaptive/policies.cpp.o"
+  "CMakeFiles/saex_adaptive.dir/adaptive/policies.cpp.o.d"
+  "libsaex_adaptive.a"
+  "libsaex_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

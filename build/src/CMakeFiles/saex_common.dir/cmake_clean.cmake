@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_common.dir/common/log.cpp.o"
+  "CMakeFiles/saex_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/saex_common.dir/common/rng.cpp.o"
+  "CMakeFiles/saex_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/saex_common.dir/common/stats.cpp.o"
+  "CMakeFiles/saex_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/saex_common.dir/common/table.cpp.o"
+  "CMakeFiles/saex_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/saex_common.dir/common/units.cpp.o"
+  "CMakeFiles/saex_common.dir/common/units.cpp.o.d"
+  "libsaex_common.a"
+  "libsaex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

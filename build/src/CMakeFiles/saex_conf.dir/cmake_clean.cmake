@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_conf.dir/conf/config.cpp.o"
+  "CMakeFiles/saex_conf.dir/conf/config.cpp.o.d"
+  "CMakeFiles/saex_conf.dir/conf/spark_params.cpp.o"
+  "CMakeFiles/saex_conf.dir/conf/spark_params.cpp.o.d"
+  "libsaex_conf.a"
+  "libsaex_conf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_conf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for saex_conf.
+# This may be replaced when dependencies are built.

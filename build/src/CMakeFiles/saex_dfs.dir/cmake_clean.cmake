@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_dfs.dir/dfs/dfs.cpp.o"
+  "CMakeFiles/saex_dfs.dir/dfs/dfs.cpp.o.d"
+  "CMakeFiles/saex_dfs.dir/dfs/placement.cpp.o"
+  "CMakeFiles/saex_dfs.dir/dfs/placement.cpp.o.d"
+  "libsaex_dfs.a"
+  "libsaex_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/context.cpp" "src/CMakeFiles/saex_engine.dir/engine/context.cpp.o" "gcc" "src/CMakeFiles/saex_engine.dir/engine/context.cpp.o.d"
+  "/root/repo/src/engine/dag_scheduler.cpp" "src/CMakeFiles/saex_engine.dir/engine/dag_scheduler.cpp.o" "gcc" "src/CMakeFiles/saex_engine.dir/engine/dag_scheduler.cpp.o.d"
+  "/root/repo/src/engine/event_log.cpp" "src/CMakeFiles/saex_engine.dir/engine/event_log.cpp.o" "gcc" "src/CMakeFiles/saex_engine.dir/engine/event_log.cpp.o.d"
+  "/root/repo/src/engine/executor_runtime.cpp" "src/CMakeFiles/saex_engine.dir/engine/executor_runtime.cpp.o" "gcc" "src/CMakeFiles/saex_engine.dir/engine/executor_runtime.cpp.o.d"
+  "/root/repo/src/engine/rdd.cpp" "src/CMakeFiles/saex_engine.dir/engine/rdd.cpp.o" "gcc" "src/CMakeFiles/saex_engine.dir/engine/rdd.cpp.o.d"
+  "/root/repo/src/engine/report.cpp" "src/CMakeFiles/saex_engine.dir/engine/report.cpp.o" "gcc" "src/CMakeFiles/saex_engine.dir/engine/report.cpp.o.d"
+  "/root/repo/src/engine/shuffle.cpp" "src/CMakeFiles/saex_engine.dir/engine/shuffle.cpp.o" "gcc" "src/CMakeFiles/saex_engine.dir/engine/shuffle.cpp.o.d"
+  "/root/repo/src/engine/task_scheduler.cpp" "src/CMakeFiles/saex_engine.dir/engine/task_scheduler.cpp.o" "gcc" "src/CMakeFiles/saex_engine.dir/engine/task_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/saex_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_engine.dir/engine/context.cpp.o"
+  "CMakeFiles/saex_engine.dir/engine/context.cpp.o.d"
+  "CMakeFiles/saex_engine.dir/engine/dag_scheduler.cpp.o"
+  "CMakeFiles/saex_engine.dir/engine/dag_scheduler.cpp.o.d"
+  "CMakeFiles/saex_engine.dir/engine/event_log.cpp.o"
+  "CMakeFiles/saex_engine.dir/engine/event_log.cpp.o.d"
+  "CMakeFiles/saex_engine.dir/engine/executor_runtime.cpp.o"
+  "CMakeFiles/saex_engine.dir/engine/executor_runtime.cpp.o.d"
+  "CMakeFiles/saex_engine.dir/engine/rdd.cpp.o"
+  "CMakeFiles/saex_engine.dir/engine/rdd.cpp.o.d"
+  "CMakeFiles/saex_engine.dir/engine/report.cpp.o"
+  "CMakeFiles/saex_engine.dir/engine/report.cpp.o.d"
+  "CMakeFiles/saex_engine.dir/engine/shuffle.cpp.o"
+  "CMakeFiles/saex_engine.dir/engine/shuffle.cpp.o.d"
+  "CMakeFiles/saex_engine.dir/engine/task_scheduler.cpp.o"
+  "CMakeFiles/saex_engine.dir/engine/task_scheduler.cpp.o.d"
+  "libsaex_engine.a"
+  "libsaex_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

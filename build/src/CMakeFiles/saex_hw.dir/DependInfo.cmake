@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cpp" "src/CMakeFiles/saex_hw.dir/hw/cluster.cpp.o" "gcc" "src/CMakeFiles/saex_hw.dir/hw/cluster.cpp.o.d"
+  "/root/repo/src/hw/cpuset.cpp" "src/CMakeFiles/saex_hw.dir/hw/cpuset.cpp.o" "gcc" "src/CMakeFiles/saex_hw.dir/hw/cpuset.cpp.o.d"
+  "/root/repo/src/hw/disk.cpp" "src/CMakeFiles/saex_hw.dir/hw/disk.cpp.o" "gcc" "src/CMakeFiles/saex_hw.dir/hw/disk.cpp.o.d"
+  "/root/repo/src/hw/network.cpp" "src/CMakeFiles/saex_hw.dir/hw/network.cpp.o" "gcc" "src/CMakeFiles/saex_hw.dir/hw/network.cpp.o.d"
+  "/root/repo/src/hw/node.cpp" "src/CMakeFiles/saex_hw.dir/hw/node.cpp.o" "gcc" "src/CMakeFiles/saex_hw.dir/hw/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/saex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

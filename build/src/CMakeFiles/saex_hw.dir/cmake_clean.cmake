@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_hw.dir/hw/cluster.cpp.o"
+  "CMakeFiles/saex_hw.dir/hw/cluster.cpp.o.d"
+  "CMakeFiles/saex_hw.dir/hw/cpuset.cpp.o"
+  "CMakeFiles/saex_hw.dir/hw/cpuset.cpp.o.d"
+  "CMakeFiles/saex_hw.dir/hw/disk.cpp.o"
+  "CMakeFiles/saex_hw.dir/hw/disk.cpp.o.d"
+  "CMakeFiles/saex_hw.dir/hw/network.cpp.o"
+  "CMakeFiles/saex_hw.dir/hw/network.cpp.o.d"
+  "CMakeFiles/saex_hw.dir/hw/node.cpp.o"
+  "CMakeFiles/saex_hw.dir/hw/node.cpp.o.d"
+  "libsaex_hw.a"
+  "libsaex_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/histogram.cpp" "src/CMakeFiles/saex_metrics.dir/metrics/histogram.cpp.o" "gcc" "src/CMakeFiles/saex_metrics.dir/metrics/histogram.cpp.o.d"
+  "/root/repo/src/metrics/io_accounting.cpp" "src/CMakeFiles/saex_metrics.dir/metrics/io_accounting.cpp.o" "gcc" "src/CMakeFiles/saex_metrics.dir/metrics/io_accounting.cpp.o.d"
+  "/root/repo/src/metrics/registry.cpp" "src/CMakeFiles/saex_metrics.dir/metrics/registry.cpp.o" "gcc" "src/CMakeFiles/saex_metrics.dir/metrics/registry.cpp.o.d"
+  "/root/repo/src/metrics/timeseries.cpp" "src/CMakeFiles/saex_metrics.dir/metrics/timeseries.cpp.o" "gcc" "src/CMakeFiles/saex_metrics.dir/metrics/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/saex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

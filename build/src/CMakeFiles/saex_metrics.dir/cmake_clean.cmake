@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_metrics.dir/metrics/histogram.cpp.o"
+  "CMakeFiles/saex_metrics.dir/metrics/histogram.cpp.o.d"
+  "CMakeFiles/saex_metrics.dir/metrics/io_accounting.cpp.o"
+  "CMakeFiles/saex_metrics.dir/metrics/io_accounting.cpp.o.d"
+  "CMakeFiles/saex_metrics.dir/metrics/registry.cpp.o"
+  "CMakeFiles/saex_metrics.dir/metrics/registry.cpp.o.d"
+  "CMakeFiles/saex_metrics.dir/metrics/timeseries.cpp.o"
+  "CMakeFiles/saex_metrics.dir/metrics/timeseries.cpp.o.d"
+  "libsaex_metrics.a"
+  "libsaex_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

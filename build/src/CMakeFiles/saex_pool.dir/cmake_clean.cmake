@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_pool.dir/pool/dynamic_thread_pool.cpp.o"
+  "CMakeFiles/saex_pool.dir/pool/dynamic_thread_pool.cpp.o.d"
+  "libsaex_pool.a"
+  "libsaex_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

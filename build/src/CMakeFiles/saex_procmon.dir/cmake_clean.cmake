@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_procmon.dir/procmon/procfs.cpp.o"
+  "CMakeFiles/saex_procmon.dir/procmon/procfs.cpp.o.d"
+  "CMakeFiles/saex_procmon.dir/procmon/sampler.cpp.o"
+  "CMakeFiles/saex_procmon.dir/procmon/sampler.cpp.o.d"
+  "libsaex_procmon.a"
+  "libsaex_procmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_procmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

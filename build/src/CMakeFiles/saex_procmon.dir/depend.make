@@ -1,0 +1,2 @@
+# Empty dependencies file for saex_procmon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/saex_sim.dir/sim/simulation.cpp.o.d"
+  "libsaex_sim.a"
+  "libsaex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

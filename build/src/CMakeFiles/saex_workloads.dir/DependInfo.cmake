@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/extra.cpp" "src/CMakeFiles/saex_workloads.dir/workloads/extra.cpp.o" "gcc" "src/CMakeFiles/saex_workloads.dir/workloads/extra.cpp.o.d"
+  "/root/repo/src/workloads/graph.cpp" "src/CMakeFiles/saex_workloads.dir/workloads/graph.cpp.o" "gcc" "src/CMakeFiles/saex_workloads.dir/workloads/graph.cpp.o.d"
+  "/root/repo/src/workloads/ml.cpp" "src/CMakeFiles/saex_workloads.dir/workloads/ml.cpp.o" "gcc" "src/CMakeFiles/saex_workloads.dir/workloads/ml.cpp.o.d"
+  "/root/repo/src/workloads/pagerank.cpp" "src/CMakeFiles/saex_workloads.dir/workloads/pagerank.cpp.o" "gcc" "src/CMakeFiles/saex_workloads.dir/workloads/pagerank.cpp.o.d"
+  "/root/repo/src/workloads/sql.cpp" "src/CMakeFiles/saex_workloads.dir/workloads/sql.cpp.o" "gcc" "src/CMakeFiles/saex_workloads.dir/workloads/sql.cpp.o.d"
+  "/root/repo/src/workloads/terasort.cpp" "src/CMakeFiles/saex_workloads.dir/workloads/terasort.cpp.o" "gcc" "src/CMakeFiles/saex_workloads.dir/workloads/terasort.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/saex_workloads.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/saex_workloads.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/saex_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saex_workloads.dir/workloads/extra.cpp.o"
+  "CMakeFiles/saex_workloads.dir/workloads/extra.cpp.o.d"
+  "CMakeFiles/saex_workloads.dir/workloads/graph.cpp.o"
+  "CMakeFiles/saex_workloads.dir/workloads/graph.cpp.o.d"
+  "CMakeFiles/saex_workloads.dir/workloads/ml.cpp.o"
+  "CMakeFiles/saex_workloads.dir/workloads/ml.cpp.o.d"
+  "CMakeFiles/saex_workloads.dir/workloads/pagerank.cpp.o"
+  "CMakeFiles/saex_workloads.dir/workloads/pagerank.cpp.o.d"
+  "CMakeFiles/saex_workloads.dir/workloads/sql.cpp.o"
+  "CMakeFiles/saex_workloads.dir/workloads/sql.cpp.o.d"
+  "CMakeFiles/saex_workloads.dir/workloads/terasort.cpp.o"
+  "CMakeFiles/saex_workloads.dir/workloads/terasort.cpp.o.d"
+  "CMakeFiles/saex_workloads.dir/workloads/workloads.cpp.o"
+  "CMakeFiles/saex_workloads.dir/workloads/workloads.cpp.o.d"
+  "libsaex_workloads.a"
+  "libsaex_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saex_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

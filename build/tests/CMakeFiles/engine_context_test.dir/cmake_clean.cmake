@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_context_test.dir/engine_context_test.cpp.o"
+  "CMakeFiles/engine_context_test.dir/engine_context_test.cpp.o.d"
+  "engine_context_test"
+  "engine_context_test.pdb"
+  "engine_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_plan_test.dir/engine_plan_test.cpp.o"
+  "CMakeFiles/engine_plan_test.dir/engine_plan_test.cpp.o.d"
+  "engine_plan_test"
+  "engine_plan_test.pdb"
+  "engine_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_runtime_test.dir/engine_runtime_test.cpp.o"
+  "CMakeFiles/engine_runtime_test.dir/engine_runtime_test.cpp.o.d"
+  "engine_runtime_test"
+  "engine_runtime_test.pdb"
+  "engine_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

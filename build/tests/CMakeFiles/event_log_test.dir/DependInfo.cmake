@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/event_log_test.cpp" "tests/CMakeFiles/event_log_test.dir/event_log_test.cpp.o" "gcc" "tests/CMakeFiles/event_log_test.dir/event_log_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/saex_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_procmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/saex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procmon_test.dir/procmon_test.cpp.o"
+  "CMakeFiles/procmon_test.dir/procmon_test.cpp.o.d"
+  "procmon_test"
+  "procmon_test.pdb"
+  "procmon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procmon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/conf_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/pool_test[1]_include.cmake")
+include("/root/repo/build/tests/procmon_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_context_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/event_log_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_faults_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saexsim.dir/saexsim.cpp.o"
+  "CMakeFiles/saexsim.dir/saexsim.cpp.o.d"
+  "saexsim"
+  "saexsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saexsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
