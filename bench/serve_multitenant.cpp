@@ -1,0 +1,125 @@
+// serve_multitenant — multi-tenant job server comparison (extension beyond
+// the paper's single-job experiments).
+//
+// Replays one bursty 50-job arrival trace (mixed HiBench-style interactive
+// scans/aggregations and batch sorts/joins from 4 tenants) against the same
+// cluster under different server configurations:
+//
+//   1. FIFO, default executors            — Spark out of the box
+//   2. FAIR pools, default executors      — scheduler isolation only
+//   3. FAIR + dynamic allocation, default — elastic executor set
+//   4. FIFO, adaptive (dynamic) executors — the paper's §5 policy alone
+//   5. FAIR + adaptive executors          — scheduler + paper policy
+//
+// Shape criteria:
+//   * FAIR strictly reduces the interactive pool's p95 queue wait vs FIFO
+//     (weighted pools hand freed slots to small jobs first).
+//   * The adaptive executor policy beats the default on aggregate makespan
+//     (Σ per-job makespans) under the same FAIR scheduler: fewer threads on
+//     I/O-bound stages means less disk congestion for everyone.
+#include "bench_common.h"
+#include "serve/job_server.h"
+
+namespace {
+
+using namespace saexbench;
+
+struct ServeResult {
+  std::string label;
+  serve::ServeReport report;
+};
+
+serve::ServeReport run_serve(const std::string& mode, const std::string& policy,
+                             bool dynalloc, const serve::TraceOptions& t) {
+  // Two full 32-core nodes (64 slots). The burst keeps far more tasks
+  // pending than slots, so the arbitration policy decides who waits — and
+  // the default 32-thread executors sit well past the disk-congestion knee
+  // (Fig. 2), which is the headroom the adaptive policy exploits.
+  hw::ClusterSpec cs = hw::ClusterSpec::das5(2);
+  cs.seed = t.seed;
+  hw::Cluster cluster(cs);
+
+  conf::Config config;
+  config.set_int("spark.default.parallelism", 32);
+  config.set("saex.executor.policy", policy);
+  config.set("saex.scheduler.mode", mode);
+  config.set("saex.scheduler.pools", "interactive:3:8,batch:1:0");
+  config.set_int("saex.serve.maxConcurrentJobs", 8);
+  if (dynalloc) {
+    config.set_bool("spark.dynamicAllocation.enabled", true);
+    config.set_int("spark.dynamicAllocation.minExecutors", 1);
+    config.set_int("spark.dynamicAllocation.initialExecutors", 1);
+    config.set("spark.dynamicAllocation.executorIdleTimeout", "15s");
+  }
+
+  engine::SparkContext ctx(cluster, std::move(config));
+  serve::JobServer server(ctx);
+  return server.replay(serve::make_trace(t), t);
+}
+
+}  // namespace
+
+int main() {
+  print_title("serve_multitenant",
+              "multi-tenant job server: FIFO vs FAIR pools vs dynamic "
+              "allocation vs adaptive executors (50-job bursty trace)",
+              "FAIR cuts the interactive pool's p95 queue wait vs FIFO; "
+              "adaptive executors cut aggregate makespan vs default");
+
+  serve::TraceOptions t;
+  t.num_jobs = 50;
+  t.mean_interarrival = 2.0;
+  t.seed = 42;
+  t.small_input = mib(512);
+  t.big_input = gib(2.0);
+  t.dim_input = mib(256);
+
+  std::vector<ServeResult> results;
+  results.push_back({"FIFO/default", run_serve("FIFO", "default", false, t)});
+  results.push_back({"FAIR/default", run_serve("FAIR", "default", false, t)});
+  results.push_back(
+      {"FAIR/default+dynalloc", run_serve("FAIR", "default", true, t)});
+  results.push_back({"FIFO/adaptive", run_serve("FIFO", "dynamic", false, t)});
+  results.push_back({"FAIR/adaptive", run_serve("FAIR", "dynamic", false, t)});
+
+  TextTable table({"configuration", "interactive qwait p95", "batch qwait p95",
+                   "aggregate makespan", "total", "fairness", "+exec/-exec"});
+  for (const ServeResult& r : results) {
+    const serve::PoolStats* small = r.report.pool("interactive");
+    const serve::PoolStats* batch = r.report.pool("batch");
+    table.add_row(
+        {r.label,
+         small != nullptr ? format_duration(small->queue_wait_p95) : "-",
+         batch != nullptr ? format_duration(batch->queue_wait_p95) : "-",
+         format_duration(r.report.makespan_sum),
+         format_duration(r.report.total_time),
+         strfmt::format("{:.3f}", r.report.fairness_index),
+         strfmt::format("+{}/-{}", r.report.executors_granted,
+                        r.report.executors_released)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("\nper-pool detail, FAIR/adaptive:\n%s\n",
+              results.back().report.render().c_str());
+
+  // ---- shape criteria ------------------------------------------------------
+  const double fifo_small_p95 =
+      results[0].report.pool("interactive")->queue_wait_p95;
+  const double fair_small_p95 =
+      results[1].report.pool("interactive")->queue_wait_p95;
+  const bool fair_wins = fair_small_p95 < fifo_small_p95;
+
+  const double fair_default_span = results[1].report.makespan_sum;
+  const double fair_adaptive_span = results[4].report.makespan_sum;
+  const bool adaptive_wins = fair_adaptive_span < fair_default_span;
+
+  std::printf("FAIR interactive p95 %s < FIFO %s: %s\n",
+              format_duration(fair_small_p95).c_str(),
+              format_duration(fifo_small_p95).c_str(),
+              fair_wins ? "OK" : "VIOLATED");
+  std::printf("FAIR/adaptive aggregate makespan %s < FAIR/default %s: %s\n",
+              format_duration(fair_adaptive_span).c_str(),
+              format_duration(fair_default_span).c_str(),
+              adaptive_wins ? "OK" : "VIOLATED");
+  return fair_wins && adaptive_wins ? 0 : 1;
+}

@@ -333,6 +333,24 @@ void define_adaptive_extension(Registry& r) {
             "fixed (wall-clock seconds; ablation)."});
   r.define({"saex.dynamic.fixedIntervalSeconds", c, V::kDurationSeconds, "5s",
             "Interval length when intervalMode=fixed."});
+  r.define({"saex.scheduler.mode", c, V::kString, "FIFO",
+            "Multi-job slot arbitration in saex::serve: FIFO | FAIR."});
+  r.define({"saex.scheduler.pools", c, V::kString, "",
+            "FAIR pool definitions: 'name:weight:minShare,...' (e.g. "
+            "'interactive:3:32,batch:1:0'). Unlisted pools get weight 1, "
+            "minShare 0."});
+  r.define({"saex.serve.maxConcurrentJobs", c, V::kInt, "8",
+            "Admission control: jobs running at once; excess submissions "
+            "queue."});
+  r.define({"saex.serve.maxQueuedJobs", c, V::kInt, "64",
+            "Admission control: queue capacity; submissions beyond it are "
+            "rejected with a typed result (backpressure)."});
+  r.define({"saex.serve.maxJobsPerClient", c, V::kInt, "0",
+            "Admission control: per-client cap on queued+running jobs "
+            "(0 = unlimited)."});
+  r.define({"saex.serve.allocationTick", c, V::kDurationSeconds, "250ms",
+            "Dynamic-allocation evaluation period (backlog and idle-timeout "
+            "checks)."});
   r.define({"saex.sim.taskFailureProb", c, V::kDouble, "0",
             "Fault injection: probability a task attempt dies partway "
             "through (exercises spark.task.maxFailures retries)."});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 #include <stdexcept>
 
 #include "common/format.h"
@@ -109,6 +110,8 @@ SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
   install_policies();
 }
 
+SparkContext::~SparkContext() = default;
+
 void SparkContext::set_policy_factory(PolicyFactory factory) {
   policy_factory_ = std::move(factory);
   policy_name_ = "custom";
@@ -172,6 +175,261 @@ std::vector<TaskSpec> SparkContext::make_tasks(const Stage& stage) const {
     tasks.push_back(std::move(t));
   }
   return tasks;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent (event-driven) job submission — the saex::serve path.
+//
+// Instead of run_job()'s sequential stage loop, a JobRun tracks how many
+// unfinished parents each stage has *within the job*; stages whose count is
+// zero are submitted to the shared TaskScheduler immediately, and each
+// stage-completion event unlocks its children. Stages of different jobs (and
+// independent stages of one job) are therefore in flight together, arbitrated
+// by the scheduler's FIFO/FAIR ordering.
+//
+// Per-stage rollups are window-based: cluster-wide counters are snapshotted
+// at submit and diffed at completion, so with overlapping jobs a stage's
+// disk/network bytes include the traffic of whatever else ran during its
+// window. Utilizations are exact (busy-tracker integrals over the window).
+// ---------------------------------------------------------------------------
+
+struct SparkContext::JobRun {
+  int job_id = 0;
+  std::string pool;
+  JobPlan plan;
+  std::map<int, int> pending_parents;  // stage uid -> unfinished parents
+  std::map<int, int> event_ordinal;    // stage uid -> application ordinal
+  std::set<int> submitted;             // stage uids handed to the scheduler
+  int in_flight = 0;
+  size_t stages_done = 0;
+  JobReport report;
+  std::function<void(JobReport)> on_done;
+
+  // Per-stage baselines snapshotted at submit (keyed by stage uid).
+  struct Baseline {
+    double start_time = 0.0;
+    Bytes net_base = 0;
+    std::vector<Bytes> disk_read, disk_written;
+    std::vector<double> blocked;
+    std::vector<Bytes> io_bytes;
+  };
+  std::map<int, Baseline> baselines;
+};
+
+int SparkContext::submit_job(const Rdd& action, std::string app_name,
+                             std::string pool,
+                             std::function<void(JobReport)> on_done) {
+  JobPlan plan = dag_->build(action);
+  for (const auto& [cache_id, info] : dag_->caches()) {
+    if (!caches_->has(cache_id)) caches_->init(cache_id, info.partitions);
+  }
+
+  const int job_id = job_counter_++;
+  auto run = std::make_unique<JobRun>();
+  run->job_id = job_id;
+  run->pool = std::move(pool);
+  run->plan = std::move(plan);
+  run->on_done = std::move(on_done);
+  run->report.app_name = std::move(app_name);
+  run->report.policy_name = policy_name_;
+  run->report.job_id = job_id;
+  run->report.pool = run->pool;
+  run->report.submit_time = cluster_->sim().now();
+
+  // Count each stage's unfinished parents *within this plan*; parents built
+  // by earlier jobs (reused shuffle/cache outputs) are already materialized.
+  for (const Stage& stage : run->plan.stages) {
+    int pending = 0;
+    for (const int parent : stage.parent_uids) {
+      if (run->plan.stage_by_uid(parent) != nullptr) ++pending;
+    }
+    run->pending_parents[stage.uid] = pending;
+    if (stage.source == StageSource::kDfs &&
+        run->report.input_bytes == 0) {
+      run->report.input_bytes = stage.input_bytes;
+    }
+  }
+
+  event_log_.record(Event{EventKind::kJobStart, run->report.submit_time,
+                          job_id, -1, -1, -1, 0, run->report.app_name});
+
+  JobRun& ref = *run;
+  jobs_.emplace(job_id, std::move(run));
+  submit_ready_stages(ref);
+  return job_id;
+}
+
+void SparkContext::submit_ready_stages(JobRun& run) {
+  if (run.report.failed) return;  // an aborted stage cancels the rest
+  for (Stage& stage : run.plan.stages) {
+    if (run.pending_parents.at(stage.uid) > 0 ||
+        run.submitted.count(stage.uid) > 0) {
+      continue;
+    }
+    run.submitted.insert(stage.uid);
+    submit_stage_of(run, stage);
+  }
+}
+
+void SparkContext::submit_stage_of(JobRun& run, Stage& stage) {
+  sim::Simulation& sim = cluster_->sim();
+  const double now = sim.now();
+  const int app_ordinal = app_stage_counter_++;
+  run.event_ordinal[stage.uid] = app_ordinal;
+
+  JobRun::Baseline base;
+  base.start_time = now;
+  base.net_base = cluster_->network().total_bytes();
+  for (auto& exec : executors_) {
+    const hw::Node& node = cluster_->node(exec->node_id());
+    base.disk_read.push_back(node.disk().total_bytes_read());
+    base.disk_written.push_back(node.disk().total_bytes_written());
+    base.blocked.push_back(exec->io_counters().blocked_seconds);
+    base.io_bytes.push_back(exec->io_counters().bytes_total());
+  }
+  run.baselines.emplace(stage.uid, std::move(base));
+
+  event_log_.record(Event{EventKind::kStageStart, now, run.job_id,
+                          app_ordinal, -1, -1, stage.num_tasks, stage.name});
+  ++run.in_flight;
+  const int uid = stage.uid;
+  const int job_id = run.job_id;
+  scheduler_->submit_stage(
+      stage, make_tasks(stage), job_id, run.pool,
+      [this, job_id, uid](const TaskScheduler::TaskSetResult& result) {
+        const auto it = jobs_.find(job_id);
+        assert(it != jobs_.end() && "stage completed for a finished job");
+        JobRun& r = *it->second;
+        Stage* stage = nullptr;
+        for (Stage& s : r.plan.stages) {
+          if (s.uid == uid) stage = &s;
+        }
+        assert(stage != nullptr);
+        on_stage_finished(r, *stage, result);
+      });
+}
+
+void SparkContext::on_stage_finished(
+    JobRun& run, Stage& stage, const TaskScheduler::TaskSetResult& result) {
+  sim::Simulation& sim = cluster_->sim();
+  const double stage_end = sim.now();
+  --run.in_flight;
+  ++run.stages_done;
+
+  const int app_ordinal = run.event_ordinal.at(stage.uid);
+  event_log_.record(Event{EventKind::kStageEnd, stage_end, run.job_id,
+                          app_ordinal, -1, -1, 0, stage.name});
+
+  if (result.first_launch_time >= 0.0 &&
+      (run.report.first_launch_time < 0.0 ||
+       result.first_launch_time < run.report.first_launch_time)) {
+    run.report.first_launch_time = result.first_launch_time;
+  }
+
+  if (result.failed) {
+    run.report.failed = true;
+    SAEX_WARN("job {} stage {} aborted; failing the job", run.job_id,
+              stage.ordinal);
+  } else {
+    // Register the produced output file so downstream stages can read it.
+    if (stage.sink == StageSink::kDfsWrite && !dfs_->exists(stage.out_path)) {
+      dfs_->create_output(stage.out_path, stage.output_bytes(), 0,
+                          stage.out_replication);
+    }
+  }
+
+  // Window-based stage rollup (see the submit_job comment block).
+  const JobRun::Baseline& base = run.baselines.at(stage.uid);
+  StageStats stats;
+  stats.ordinal = stage.ordinal;
+  stats.name = stage.name;
+  stats.io_tagged = stage.io_tagged;
+  stats.num_tasks = stage.num_tasks;
+  stats.start_time = base.start_time;
+  stats.end_time = stage_end;
+  stats.input_bytes = stage.input_bytes;
+  stats.net_bytes = cluster_->network().total_bytes() - base.net_base;
+
+  const double dur = std::max(stage_end - base.start_time, 1e-9);
+  double cpu_sum = 0.0, disk_sum = 0.0, iowait_sum = 0.0;
+  for (size_t i = 0; i < executors_.size(); ++i) {
+    ExecutorRuntime& exec = *executors_[i];
+    const hw::Node& node = cluster_->node(exec.node_id());
+    const double cpu_util =
+        node.cpu().busy_tracker().utilization(base.start_time, stage_end);
+    const double disk_util =
+        node.disk().busy_tracker().utilization(base.start_time, stage_end);
+    const double blocked =
+        exec.io_counters().blocked_seconds - base.blocked[i];
+    const double cores = static_cast<double>(node.cpu().cores());
+    const double iowait =
+        std::min(blocked / (cores * dur), std::max(0.0, 1.0 - cpu_util));
+    cpu_sum += cpu_util;
+    disk_sum += disk_util;
+    iowait_sum += iowait;
+    stats.disk_read += node.disk().total_bytes_read() - base.disk_read[i];
+    stats.disk_written +=
+        node.disk().total_bytes_written() - base.disk_written[i];
+
+    ExecutorStageStats es;
+    es.node = exec.node_id();
+    es.threads_settled = exec.pool_size();
+    es.blocked_seconds = blocked;
+    es.io_bytes = exec.io_counters().bytes_total() - base.io_bytes[i];
+    stats.threads_total += es.threads_settled;
+    stats.executors.push_back(es);
+  }
+  const double n = static_cast<double>(executors_.size());
+  stats.cpu_utilization = cpu_sum / n;
+  stats.disk_utilization = disk_sum / n;
+  stats.iowait_fraction = iowait_sum / n;
+
+  metrics::Histogram durations(0.01, 1.15);
+  for (const double d : result.durations) {
+    durations.add(d);
+    stats.task_seconds += d;
+  }
+  stats.task_p50 = durations.quantile(0.5);
+  stats.task_p95 = durations.quantile(0.95);
+  stats.task_max = durations.max();
+  run.report.stages.push_back(std::move(stats));
+  run.baselines.erase(stage.uid);
+
+  // Unlock children and keep the runnable set saturated.
+  if (!run.report.failed) {
+    for (Stage& child : run.plan.stages) {
+      for (const int parent : child.parent_uids) {
+        if (parent == stage.uid) --run.pending_parents.at(child.uid);
+      }
+    }
+    submit_ready_stages(run);
+  }
+  maybe_finish_job(run);
+}
+
+void SparkContext::maybe_finish_job(JobRun& run) {
+  const bool all_done =
+      !run.report.failed && run.stages_done == run.plan.stages.size();
+  const bool aborted = run.report.failed && run.in_flight == 0;
+  if (!all_done && !aborted) return;
+
+  sim::Simulation& sim = cluster_->sim();
+  run.report.finish_time = sim.now();
+  run.report.total_runtime = run.report.finish_time - run.report.submit_time;
+  std::sort(run.report.stages.begin(), run.report.stages.end(),
+            [](const StageStats& a, const StageStats& b) {
+              return a.ordinal < b.ordinal;
+            });
+  for (const StageStats& s : run.report.stages) {
+    run.report.total_disk_bytes += s.disk_read + s.disk_written;
+  }
+  event_log_.record(Event{EventKind::kJobEnd, sim.now(), run.job_id, -1, -1,
+                          -1, 0, run.report.app_name});
+
+  JobReport report = std::move(run.report);
+  auto on_done = std::move(run.on_done);
+  jobs_.erase(report.job_id);  // `run` is dangling from here on
+  if (on_done) on_done(std::move(report));
 }
 
 JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +43,7 @@ class SparkContext {
       int virtual_cores)>;
 
   SparkContext(hw::Cluster& cluster, conf::Config config);
+  ~SparkContext();  // out of line: JobRun is incomplete here
   SparkContext(const SparkContext&) = delete;
   SparkContext& operator=(const SparkContext&) = delete;
 
@@ -60,6 +62,24 @@ class SparkContext {
   /// Builds the DAG for `action`, runs its stages in order, returns metrics.
   JobReport run_job(const Rdd& action, std::string app_name = "app");
 
+  /// Event-driven concurrent submission (the saex::serve path). Builds the
+  /// DAG, then drives a *runnable stage set*: a stage is submitted to the
+  /// shared TaskScheduler the moment its parents within the job complete, so
+  /// stages of independent jobs (and independent stages of one job, e.g. the
+  /// two map sides of a join) run concurrently. `on_done` fires when the
+  /// job's last stage drains (report.failed set if a stage aborted). The
+  /// caller drives the simulation loop (sim().step()); returns the job id.
+  ///
+  /// Executor thread policies are NOT reset per stage on this path — with
+  /// concurrent jobs there is no single "current stage" per executor.
+  /// Install the TaskScheduler's executor-engaged hook (serve::JobServer
+  /// does) to restart each executor's MAPE-K climb when it picks up work.
+  int submit_job(const Rdd& action, std::string app_name, std::string pool,
+                 std::function<void(JobReport)> on_done);
+
+  /// Jobs submitted via submit_job that have not finished yet.
+  int active_jobs() const noexcept { return static_cast<int>(jobs_.size()); }
+
   ExecutorRuntime& executor(int node_id) {
     return *executors_[static_cast<size_t>(node_id)];
   }
@@ -72,8 +92,15 @@ class SparkContext {
   ShuffleManager& shuffles() noexcept { return *shuffles_; }
 
  private:
+  struct JobRun;
+
   void install_policies();
   std::vector<TaskSpec> make_tasks(const Stage& stage) const;
+  void submit_ready_stages(JobRun& run);
+  void submit_stage_of(JobRun& run, Stage& stage);
+  void on_stage_finished(JobRun& run, Stage& stage,
+                         const TaskScheduler::TaskSetResult& result);
+  void maybe_finish_job(JobRun& run);
 
   hw::Cluster* cluster_;
   conf::Config config_;
@@ -89,6 +116,7 @@ class SparkContext {
   std::string policy_name_;
   int job_counter_ = 0;
   int app_stage_counter_ = 0;
+  std::map<int, std::unique_ptr<JobRun>> jobs_;  // in-flight submit_job runs
 };
 
 /// Builds the PolicyFactory implied by `config` ("saex.executor.policy" =

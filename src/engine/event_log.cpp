@@ -18,6 +18,11 @@ std::string_view event_kind_name(EventKind kind) noexcept {
     case EventKind::kTaskFailed: return "TaskFailed";
     case EventKind::kPoolResize: return "PoolResize";
     case EventKind::kSpeculativeLaunch: return "SpeculativeLaunch";
+    case EventKind::kJobSubmitted: return "JobSubmitted";
+    case EventKind::kJobRejected: return "JobRejected";
+    case EventKind::kJobDequeued: return "JobDequeued";
+    case EventKind::kExecutorGranted: return "ExecutorGranted";
+    case EventKind::kExecutorReleased: return "ExecutorReleased";
   }
   return "?";
 }
@@ -135,6 +140,16 @@ std::string EventLog::to_chrome_trace() const {
             R"({{"name":"speculative s{}-p{}","ph":"i","ts":{:.1f},"pid":{},"tid":0,"s":"p"}})",
             e.stage, e.partition, us, e.node));
         break;
+      case EventKind::kExecutorGranted:
+      case EventKind::kExecutorReleased:
+        emit(strfmt::format(
+            R"({{"name":"{}","ph":"i","ts":{:.1f},"pid":{},"tid":0,"s":"p"}})",
+            std::string(event_kind_name(e.kind)), us, e.node));
+        break;
+      case EventKind::kJobSubmitted:
+      case EventKind::kJobRejected:
+      case EventKind::kJobDequeued:
+        break;  // admission events carry no duration; JSON-lines has them
     }
   }
   out << "]\n";

@@ -26,6 +26,12 @@ enum class EventKind {
   kTaskFailed,
   kPoolResize,
   kSpeculativeLaunch,
+  // saex::serve (multi-tenant job server) events.
+  kJobSubmitted,       // value = admission outcome (serve::Admission)
+  kJobRejected,        // value = admission outcome
+  kJobDequeued,        // left the admission queue and started running
+  kExecutorGranted,    // dynamic allocation activated this executor
+  kExecutorReleased,   // dynamic allocation idle-timed-out this executor
 };
 
 std::string_view event_kind_name(EventKind kind) noexcept;

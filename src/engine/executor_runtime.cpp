@@ -433,9 +433,10 @@ void ExecutorRuntime::set_policy(std::unique_ptr<adaptive::ThreadPolicy> policy)
   policy_ = std::move(policy);
 }
 
-void ExecutorRuntime::cancel_task(int partition) {
+void ExecutorRuntime::cancel_task(int stage_uid, int partition) {
   for (auto& run : active_) {
-    if (run->spec.partition == partition && !run->aborting) {
+    if (run->spec.stage_uid == stage_uid && run->spec.partition == partition &&
+        !run->aborting) {
       run->aborting = true;
       // If the attempt is parked in a stall, no callback will come; finish
       // the abort directly. Otherwise the pending I/O/compute callback

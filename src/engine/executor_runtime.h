@@ -112,10 +112,11 @@ class ExecutorRuntime final : public adaptive::PoolEffector,
   /// Starts a task; `on_done` fires (executor-side) at completion.
   void launch(const TaskSpec& spec, const Stage& stage, TaskDone on_done);
 
-  /// Kills running attempts of `partition` (speculation losers). The attempt
-  /// drains its in-flight I/O and reports failure; the driver ignores the
-  /// result since the partition is already done.
-  void cancel_task(int partition);
+  /// Kills running attempts of stage `stage_uid`'s `partition` (speculation
+  /// losers). The attempt drains its in-flight I/O and reports failure; the
+  /// driver ignores the result since the partition is already done. Keyed by
+  /// (stage, partition) because concurrent jobs share the executor.
+  void cancel_task(int stage_uid, int partition);
 
   /// Reserves cache-storage memory; returns the granted amount (the rest
   /// must spill to disk).

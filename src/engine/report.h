@@ -34,6 +34,9 @@ struct StageStats {
   double iowait_fraction = 0.0;   // mpstat-style iowait (Fig. 1 color)
 
   int threads_total = 0;  // Σ executors' settled threads (Fig. 8 labels)
+  // Σ successful task durations — the stage's slot-seconds (set on the
+  // concurrent submit_job path; run_job leaves it 0).
+  double task_seconds = 0.0;
   // Task duration distribution (successful attempts).
   double task_p50 = 0.0;
   double task_p95 = 0.0;
@@ -50,6 +53,15 @@ struct JobReport {
   Bytes input_bytes = 0;
   Bytes total_disk_bytes = 0;  // Table 2's "I/O activity"
   std::vector<StageStats> stages;
+
+  // Concurrent-submission bookkeeping (SparkContext::submit_job — the
+  // saex::serve path). run_job() leaves these at their defaults.
+  int job_id = -1;
+  std::string pool;
+  bool failed = false;          // a stage aborted (task out of attempts)
+  double submit_time = 0.0;
+  double first_launch_time = -1.0;  // first task dispatch of any stage
+  double finish_time = 0.0;
 
   /// Multi-line human-readable summary (stage table + totals).
   std::string render() const;

@@ -14,81 +14,223 @@ TaskScheduler::TaskScheduler(sim::Simulation& sim,
     : sim_(sim), options_(options) {
   execs_.reserve(executors.size());
   for (ExecutorRuntime* e : executors) {
-    execs_.push_back(ExecState{e, e->pool_size(), 0});
+    execs_.push_back(ExecState{e, e->pool_size(), 0, true});
   }
 }
 
-int TaskScheduler::total_assigned() const noexcept {
-  int total = 0;
-  for (const ExecState& es : execs_) total += es.assigned;
-  return total;
+void TaskScheduler::define_pool(PoolSpec spec) {
+  for (PoolSpec& existing : pool_specs_) {
+    if (existing.name == spec.name) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  pool_specs_.push_back(std::move(spec));
+}
+
+const PoolSpec& TaskScheduler::pool_spec(
+    const std::string& name) const noexcept {
+  for (const PoolSpec& p : pool_specs_) {
+    if (p.name == name) return p;
+  }
+  // Unknown pool: Spark logs a warning and uses default parameters.
+  static const PoolSpec kFallback{};
+  return kFallback;
+}
+
+int TaskScheduler::pool_running(const std::string& name) const noexcept {
+  int running = 0;
+  for (const auto& [id, set] : sets_) {
+    if (set.pool == name) running += set.running;
+  }
+  return running;
+}
+
+int TaskScheduler::running_in_pool(const std::string& pool) const noexcept {
+  return pool_running(pool);
+}
+
+int TaskScheduler::pending_task_count() const noexcept {
+  int pending = 0;
+  for (const auto& [id, set] : sets_) {
+    for (const TaskState& st : set.state) {
+      if (!st.done && st.running_copies == 0) ++pending;
+    }
+  }
+  return pending;
+}
+
+void TaskScheduler::set_executor_active(int node_id, bool active) {
+  for (ExecState& es : execs_) {
+    if (es.exec->node_id() == node_id) {
+      es.active = active;
+      break;
+    }
+  }
+  if (active) try_assign();
+}
+
+bool TaskScheduler::executor_active(int node_id) const {
+  for (const ExecState& es : execs_) {
+    if (es.exec->node_id() == node_id) return es.active;
+  }
+  return false;
+}
+
+int TaskScheduler::active_executor_count() const noexcept {
+  int n = 0;
+  for (const ExecState& es : execs_) n += es.active ? 1 : 0;
+  return n;
+}
+
+TaskScheduler::TaskSet* TaskScheduler::find_set(uint64_t id) noexcept {
+  const auto it = sets_.find(id);
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+uint64_t TaskScheduler::submit_stage(const Stage& stage,
+                                     std::vector<TaskSpec> tasks, int job_id,
+                                     std::string pool, TaskSetDone on_done) {
+  const uint64_t id = next_set_id_++;
+  TaskSet set;
+  set.id = id;
+  set.job_id = job_id;
+  set.pool = std::move(pool);
+  set.stage = stage;
+  set.tasks = std::move(tasks);
+  set.state.assign(set.tasks.size(), TaskState{});
+  set.remaining = set.tasks.size();
+  set.result.num_tasks = static_cast<int>(set.tasks.size());
+  set.result.submit_time = sim_.now();
+  set.exec_blacklisted.assign(execs_.size(), false);
+  set.on_done = std::move(on_done);
+
+  if (set.remaining == 0) {
+    // Degenerate empty stage: complete on the next event, never entering the
+    // offer loop.
+    set.result.finish_time = sim_.now();
+    TaskSetResult result = set.result;
+    TaskSetDone done = std::move(set.on_done);
+    sim_.schedule_after(0.0, [done = std::move(done), result] {
+      if (done) done(result);
+    });
+    return id;
+  }
+
+  sets_.emplace(id, std::move(set));
+  try_assign();
+  schedule_speculation_check();
+  return id;
 }
 
 void TaskScheduler::run_stage(const Stage& stage, std::vector<TaskSpec> tasks,
                               std::function<void()> on_done) {
-  assert(stage_ == nullptr && "a stage is already in flight");
-  stage_ = &stage;
-  tasks_ = std::move(tasks);
-  state_.assign(tasks_.size(), TaskState{});
-  completed_durations_.clear();
-  remaining_ = tasks_.size();
-  stage_failed_ = false;
-  on_done_ = std::move(on_done);
-
-  stage_start_time_ = sim_.now();
-  locality_timer_armed_ = false;
-
+  assert(sets_.empty() && "run_stage requires an idle scheduler");
   // Refresh advertised sizes: stage-start policies resized synchronously
   // before the stage was submitted.
   for (ExecState& es : execs_) {
     es.advertised = es.exec->pool_size();
     es.assigned = 0;
-    es.stage_failures = 0;
-    es.blacklisted = false;
   }
-
-  if (remaining_ == 0) {
-    stage_ = nullptr;
-    auto done = std::move(on_done_);
-    sim_.schedule_after(0.0, std::move(done));
-    return;
-  }
-  try_assign();
-  schedule_speculation_check();
+  completed_durations_.clear();
+  stage_failed_ = false;
+  auto done = std::move(on_done);
+  submit_stage(stage, std::move(tasks), /*job_id=*/0, "default",
+               [this, done = std::move(done)](const TaskSetResult& result) {
+                 stage_failed_ = result.failed;
+                 if (done) done();
+               });
 }
 
 // Stragglers are detected by polling (spark.speculation.interval), not only
 // at task completions — at the end of a wave there may be no completions
 // left to trigger the check.
 void TaskScheduler::schedule_speculation_check() {
-  if (!options_.speculation || stage_ == nullptr) return;
+  if (!options_.speculation || speculation_timer_armed_ || sets_.empty()) {
+    return;
+  }
+  speculation_timer_armed_ = true;
   sim_.schedule_after(options_.speculation_interval, [this] {
-    if (stage_ == nullptr) return;
+    speculation_timer_armed_ = false;
+    if (sets_.empty()) return;
     try_assign();
     schedule_speculation_check();
   });
 }
 
 int TaskScheduler::blacklisted_executors() const noexcept {
+  std::vector<bool> blacklisted(execs_.size(), false);
+  for (const auto& [id, set] : sets_) {
+    for (size_t e = 0; e < execs_.size(); ++e) {
+      if (set.exec_blacklisted[e]) blacklisted[e] = true;
+    }
+  }
   int n = 0;
-  for (const ExecState& es : execs_) n += es.blacklisted ? 1 : 0;
+  for (const bool b : blacklisted) n += b ? 1 : 0;
   return n;
 }
 
-std::optional<size_t> TaskScheduler::pick_task_for(size_t exec_idx) {
+std::vector<uint64_t> TaskScheduler::offer_order() const {
+  std::vector<uint64_t> order;
+  order.reserve(sets_.size());
+  for (const auto& [id, set] : sets_) order.push_back(id);
+  if (sets_.size() < 2) return order;
+
+  // Pool running counts for the FAIR comparison.
+  std::map<std::string, int> running;
+  if (mode_ == SchedulingMode::kFair) {
+    for (const auto& [id, set] : sets_) running[set.pool] += set.running;
+  }
+
+  std::stable_sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+    const TaskSet& sa = sets_.at(a);
+    const TaskSet& sb = sets_.at(b);
+    if (mode_ == SchedulingMode::kFair && sa.pool != sb.pool) {
+      // Spark's FairSchedulingAlgorithm over the two pools.
+      const PoolSpec& pa = pool_spec(sa.pool);
+      const PoolSpec& pb = pool_spec(sb.pool);
+      const int ra = running.at(sa.pool);
+      const int rb = running.at(sb.pool);
+      const bool needy_a = ra < pa.min_share;
+      const bool needy_b = rb < pb.min_share;
+      if (needy_a != needy_b) return needy_a;
+      if (needy_a) {
+        const double share_a =
+            static_cast<double>(ra) / std::max(pa.min_share, 1);
+        const double share_b =
+            static_cast<double>(rb) / std::max(pb.min_share, 1);
+        if (share_a != share_b) return share_a < share_b;
+      } else {
+        const double ratio_a =
+            static_cast<double>(ra) / std::max(pa.weight, 1);
+        const double ratio_b =
+            static_cast<double>(rb) / std::max(pb.weight, 1);
+        if (ratio_a != ratio_b) return ratio_a < ratio_b;
+      }
+      return sa.pool < sb.pool;
+    }
+    // FIFO (and within one pool): earlier job, then earlier submission.
+    if (sa.job_id != sb.job_id) return sa.job_id < sb.job_id;
+    return sa.id < sb.id;
+  });
+  return order;
+}
+
+std::optional<size_t> TaskScheduler::pick_task_for(TaskSet& set,
+                                                   size_t exec_idx) {
   // Locality first: a pending task preferring this node. Tasks preferring
   // *other* nodes are stolen only after the delay-scheduling window
   // (spark.locality.wait) expires; preference-free tasks are always fair
   // game. Finally, a speculative duplicate of a straggler.
   const int node_id = execs_[exec_idx].exec->node_id();
   const bool wait_over =
-      sim_.now() - stage_start_time_ >= options_.locality_wait;
+      sim_.now() - set.result.submit_time >= options_.locality_wait;
   std::optional<size_t> any;
   bool deferred = false;
-  for (size_t i = 0; i < tasks_.size(); ++i) {
-    const TaskState& st = state_[i];
+  for (size_t i = 0; i < set.tasks.size(); ++i) {
+    const TaskState& st = set.state[i];
     if (st.done || st.running_copies > 0) continue;
-    const auto& pref = tasks_[i].preferred_nodes;
+    const auto& pref = set.tasks[i].preferred_nodes;
     if (pref.empty()) {
       if (!any) any = i;
       continue;
@@ -100,25 +242,27 @@ std::optional<size_t> TaskScheduler::pick_task_for(size_t exec_idx) {
       deferred = true;
     }
   }
-  if (!any && deferred && !locality_timer_armed_) {
+  if (!any && deferred && !set.locality_timer_armed) {
     // Re-offer once the locality window closes, or nothing would wake us.
-    locality_timer_armed_ = true;
+    set.locality_timer_armed = true;
     const double remaining =
-        stage_start_time_ + options_.locality_wait - sim_.now();
-    sim_.schedule_after(std::max(remaining, 0.0), [this] {
-      locality_timer_armed_ = false;
+        set.result.submit_time + options_.locality_wait - sim_.now();
+    const uint64_t set_id = set.id;
+    sim_.schedule_after(std::max(remaining, 0.0), [this, set_id] {
+      if (TaskSet* s = find_set(set_id)) s->locality_timer_armed = false;
       try_assign();
     });
   }
   if (any) return any;
 
   if (options_.speculation &&
-      completed_durations_.size() >=
-          options_.speculation_quantile * static_cast<double>(tasks_.size())) {
-    const double median = percentile(completed_durations_, 0.5);
+      set.result.durations.size() >=
+          options_.speculation_quantile *
+              static_cast<double>(set.tasks.size())) {
+    const double median = percentile(set.result.durations, 0.5);
     const double now = sim_.now();
-    for (size_t i = 0; i < tasks_.size(); ++i) {
-      const TaskState& st = state_[i];
+    for (size_t i = 0; i < set.tasks.size(); ++i) {
+      const TaskState& st = set.state[i];
       if (st.done || st.running_copies != 1) continue;
       // Never duplicate onto the executor already running the straggler —
       // typically the slow node itself.
@@ -135,66 +279,94 @@ std::optional<size_t> TaskScheduler::pick_task_for(size_t exec_idx) {
 }
 
 void TaskScheduler::try_assign() {
-  if (stage_ == nullptr) return;
+  if (sets_.empty()) return;
   bool progress = true;
   while (progress) {
     progress = false;
     for (size_t e = 0; e < execs_.size(); ++e) {
       ExecState& es = execs_[e];
-      if (es.blacklisted || es.assigned >= es.advertised) continue;
-      const auto task = pick_task_for(e);
-      if (!task) continue;  // nothing pending or speculatable for this one
-      dispatch(*task, e, state_[*task].running_copies > 0);
-      progress = true;
+      if (!es.active || es.assigned >= es.advertised) continue;
+      // Offer the slot to task sets in FIFO/FAIR order; the order is
+      // recomputed after every dispatch since running counts moved.
+      for (const uint64_t set_id : offer_order()) {
+        TaskSet& set = sets_.at(set_id);
+        if (set.exec_blacklisted[e]) continue;
+        const auto task = pick_task_for(set, e);
+        if (!task) continue;
+        dispatch(set, *task, e, set.state[*task].running_copies > 0);
+        progress = true;
+        break;
+      }
     }
   }
 }
 
-void TaskScheduler::dispatch(size_t task_idx, size_t exec_idx,
+void TaskScheduler::dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
                              bool speculative) {
-  TaskState& st = state_[task_idx];
+  ExecState& es = execs_[exec_idx];
+  if (!es.active || es.assigned >= es.advertised) ++dispatch_overcommits_;
+  if (es.assigned == 0 && engaged_hook_) {
+    engaged_hook_(es.exec->node_id(), set.stage);
+    // The hook may have resized the pool synchronously; keep offering
+    // against the advertised size the notification protocol maintains.
+  }
+
+  TaskState& st = set.state[task_idx];
   if (st.running_copies == 0) st.launch_time = sim_.now();
   ++st.running_copies;
   ++st.attempts;
   st.copy_execs.push_back(exec_idx);
+  if (set.result.first_launch_time < 0.0) {
+    set.result.first_launch_time = sim_.now();
+  }
   if (speculative) {
     ++speculative_launches_;
+    ++set.result.speculative_launches;
     if (options_.event_log != nullptr) {
       options_.event_log->record(
-          Event{EventKind::kSpeculativeLaunch, sim_.now(), -1,
-                stage_->ordinal, static_cast<int>(task_idx),
-                execs_[exec_idx].exec->node_id(), 0, {}});
+          Event{EventKind::kSpeculativeLaunch, sim_.now(), set.job_id,
+                set.stage.ordinal, static_cast<int>(task_idx),
+                es.exec->node_id(), 0, {}});
     }
     SAEX_DEBUG("speculative copy of task {} on executor {}", task_idx,
-               execs_[exec_idx].exec->node_id());
+               es.exec->node_id());
   }
 
-  ExecState& es = execs_[exec_idx];
   ++es.assigned;
-  const TaskSpec spec = tasks_[task_idx];
-  const Stage* stage = stage_;
+  ++set.running;
+  ++tasks_dispatched_;
+  const TaskSpec spec = set.tasks[task_idx];
+  const uint64_t set_id = set.id;
   // LaunchTask message: driver → executor.
-  sim_.schedule_after(options_.message_latency, [this, spec, stage, exec_idx] {
+  sim_.schedule_after(options_.message_latency, [this, spec, set_id,
+                                                 exec_idx] {
+    const TaskSet* s = find_set(set_id);
+    assert(s != nullptr && "task set vanished with a launch in flight");
     execs_[exec_idx].exec->launch(
-        spec, *stage, [this, exec_idx](const TaskSpec& s, bool success) {
+        spec, s->stage,
+        [this, set_id, exec_idx](const TaskSpec& sp, bool success) {
           // StatusUpdate message: executor → driver.
-          sim_.schedule_after(options_.message_latency, [this, s, exec_idx,
-                                                         success] {
-            on_task_finished(s, exec_idx, success);
-          });
+          sim_.schedule_after(options_.message_latency,
+                              [this, set_id, sp, exec_idx, success] {
+                                on_task_finished(set_id, sp, exec_idx,
+                                                 success);
+                              });
         });
   });
 }
 
-void TaskScheduler::on_task_finished(const TaskSpec& spec, size_t exec_idx,
-                                     bool success) {
+void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
+                                     size_t exec_idx, bool success) {
   ExecState& es = execs_[exec_idx];
   --es.assigned;
+  ++tasks_finished_;
 
-  // Stage may have been aborted while this copy was in flight.
-  if (stage_ == nullptr) return;
+  TaskSet* set_ptr = find_set(set_id);
+  assert(set_ptr != nullptr && "status update for a vanished task set");
+  TaskSet& set = *set_ptr;
+  --set.running;
 
-  TaskState& st = state_[static_cast<size_t>(spec.partition)];
+  TaskState& st = set.state[static_cast<size_t>(spec.partition)];
   --st.running_copies;
   if (const auto it = std::find(st.copy_execs.begin(), st.copy_execs.end(),
                                 exec_idx);
@@ -203,51 +375,59 @@ void TaskScheduler::on_task_finished(const TaskSpec& spec, size_t exec_idx,
   }
 
   if (st.done) {
-    // A speculative duplicate finished after the winner: ignore the result.
-    maybe_finish_stage();
+    // A speculative duplicate finished after the winner (or the set was
+    // aborted while this copy was in flight): ignore the result.
+    maybe_finish_set(set);
     try_assign();
     return;
   }
 
   if (success) {
     st.done = true;
-    completed_durations_.push_back(sim_.now() - st.launch_time);
-    assert(remaining_ > 0);
-    --remaining_;
+    const double duration = sim_.now() - st.launch_time;
+    set.result.durations.push_back(duration);
+    completed_durations_.push_back(duration);
+    assert(set.remaining > 0);
+    --set.remaining;
     // Kill losing speculative copies so the stage does not wait for them.
     for (const size_t e : st.copy_execs) {
-      execs_[e].exec->cancel_task(spec.partition);
+      execs_[e].exec->cancel_task(spec.stage_uid, spec.partition);
     }
   } else if (options_.blacklist_enabled &&
-             ++es.stage_failures >= options_.max_failed_tasks_per_executor &&
-             !es.blacklisted && st.attempts < options_.max_task_failures) {
-    es.blacklisted = true;
+             ++set.exec_failures[exec_idx] >=
+                 options_.max_failed_tasks_per_executor &&
+             !set.exec_blacklisted[exec_idx] &&
+             st.attempts < options_.max_task_failures) {
+    set.exec_blacklisted[exec_idx] = true;
     SAEX_WARN("executor {} blacklisted for stage {} after {} failures",
-              es.exec->node_id(), stage_->ordinal, es.stage_failures);
+              es.exec->node_id(), set.stage.ordinal,
+              set.exec_failures[exec_idx]);
   } else if (st.attempts >= options_.max_task_failures &&
              st.running_copies == 0) {
     SAEX_WARN("task {} of stage {} failed {} times; aborting stage",
-              spec.partition, stage_->ordinal, st.attempts);
-    stage_failed_ = true;
+              spec.partition, set.stage.ordinal, st.attempts);
+    set.failed = true;
     // Drain: remaining copies of other tasks finish, then on_done fires.
-    remaining_ = 0;
-    for (TaskState& other : state_) {
+    set.remaining = 0;
+    for (TaskState& other : set.state) {
       if (!other.done) other.done = true;
     }
   }
   // else: attempt failed with budget left — the task is pending again
   // (running_copies just returned to 0) and try_assign re-launches it.
 
-  maybe_finish_stage();
+  maybe_finish_set(set);
   try_assign();
 }
 
-void TaskScheduler::maybe_finish_stage() {
-  if (stage_ == nullptr || remaining_ > 0 || total_assigned() > 0) return;
-  stage_ = nullptr;
-  auto done = std::move(on_done_);
-  on_done_ = nullptr;
-  if (done) done();
+void TaskScheduler::maybe_finish_set(TaskSet& set) {
+  if (set.remaining > 0 || set.running > 0) return;
+  set.result.failed = set.failed;
+  set.result.finish_time = sim_.now();
+  TaskSetResult result = std::move(set.result);
+  TaskSetDone done = std::move(set.on_done);
+  sets_.erase(set.id);  // `set` is dangling from here on
+  if (done) done(result);
 }
 
 void TaskScheduler::on_executor_resized(int node_id, int new_size) {

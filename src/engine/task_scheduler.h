@@ -7,10 +7,22 @@
 // the paper adds in §5.4: ThreadPoolResized(executor, newSize), without
 // which the driver's free-core registry would diverge from the executor's
 // actual capacity after an adaptive resize.
+//
+// Multi-job extension (saex::serve): any number of task sets — one per
+// (job, stage) — may be in flight at once, exactly like Spark's TaskSetManagers.
+// Free slots are offered to task sets in an order decided by the scheduling
+// mode: FIFO (by job, then submission) or FAIR (named pools with weight and
+// minShare, Spark's FairSchedulingAlgorithm). Executors can be deactivated /
+// reactivated at runtime (dynamic allocation): inactive executors receive no
+// offers but finish what they are running. The single-stage run_stage() API
+// is retained for the sequential driver path and the existing tests.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "adaptive/types.h"
@@ -20,6 +32,18 @@
 #include "sim/simulation.h"
 
 namespace saex::engine {
+
+/// Cross-job slot arbitration (spark.scheduler.mode / saex.scheduler.mode).
+enum class SchedulingMode { kFifo, kFair };
+
+/// A FAIR scheduler pool (Spark's fairscheduler.xml entry): a task set in a
+/// pool below its minShare outranks every satisfied pool; among satisfied
+/// pools, the one with the lowest runningTasks/weight ratio goes first.
+struct PoolSpec {
+  std::string name = "default";
+  int weight = 1;
+  int min_share = 0;  // slots
+};
 
 class TaskScheduler {
  public:
@@ -46,6 +70,23 @@ class TaskScheduler {
     EventLog* event_log = nullptr;
   };
 
+  /// What the driver learns when a task set (one stage of one job) drains.
+  struct TaskSetResult {
+    bool failed = false;  // a task exhausted spark.task.maxFailures
+    int num_tasks = 0;
+    std::vector<double> durations;   // successful task durations
+    double submit_time = 0.0;        // when the set entered the scheduler
+    double first_launch_time = -1.0; // first task dispatch (-1: never ran)
+    double finish_time = 0.0;
+    int speculative_launches = 0;
+  };
+  using TaskSetDone = std::function<void(const TaskSetResult&)>;
+
+  /// Fired when an executor with no assigned tasks receives its first task
+  /// of a set — the serve path uses it to (re)start the executor's adaptive
+  /// policy for the stage it is about to work on.
+  using ExecutorEngagedHook = std::function<void(int node_id, const Stage&)>;
+
   TaskScheduler(sim::Simulation& sim, std::vector<ExecutorRuntime*> executors,
                 Options options);
   // Separate overload: Options' default member initializers are not usable
@@ -53,20 +94,64 @@ class TaskScheduler {
   TaskScheduler(sim::Simulation& sim, std::vector<ExecutorRuntime*> executors)
       : TaskScheduler(sim, std::move(executors), Options{}) {}
 
-  /// Runs one stage to completion; only one stage may be in flight.
-  /// Policies must have been notified of the stage start already (their
-  /// initial pool sizes are read here). Tasks that fail are retried up to
-  /// max_task_failures times; exhausting the budget aborts the stage
+  // --- multi-job API -------------------------------------------------------
+
+  void set_scheduling_mode(SchedulingMode mode) noexcept { mode_ = mode; }
+  SchedulingMode scheduling_mode() const noexcept { return mode_; }
+  /// Registers (or redefines) a FAIR pool. Unknown pools referenced by
+  /// submit_stage fall back to weight 1 / minShare 0 (as Spark does).
+  void define_pool(PoolSpec spec);
+  const std::vector<PoolSpec>& pools() const noexcept { return pool_specs_; }
+
+  /// Submits one stage's tasks as a concurrently schedulable task set;
+  /// `on_done` fires (after the status-update latency) when every task
+  /// succeeded or the set was aborted. Returns the task-set id.
+  uint64_t submit_stage(const Stage& stage, std::vector<TaskSpec> tasks,
+                        int job_id, std::string pool, TaskSetDone on_done);
+
+  /// Marks an executor schedulable / unschedulable (dynamic allocation).
+  /// Deactivation never kills running tasks; the executor just stops
+  /// receiving offers.
+  void set_executor_active(int node_id, bool active);
+  bool executor_active(int node_id) const;
+  int active_executor_count() const noexcept;
+
+  /// Tasks not yet running (pending across all in-flight sets) — the
+  /// dynamic-allocation backlog signal.
+  int pending_task_count() const noexcept;
+  int active_task_sets() const noexcept { return static_cast<int>(sets_.size()); }
+  /// Currently running (dispatched) task copies in `pool`.
+  int running_in_pool(const std::string& pool) const noexcept;
+
+  void set_executor_engaged_hook(ExecutorEngagedHook hook) {
+    engaged_hook_ = std::move(hook);
+  }
+
+  // --- invariant counters (tests) -----------------------------------------
+
+  /// Times a task was dispatched to an executor whose assigned count had
+  /// already reached its advertised size, or to an inactive executor.
+  /// Always 0 unless the slot accounting is broken.
+  int64_t dispatch_overcommits() const noexcept { return dispatch_overcommits_; }
+  int64_t tasks_dispatched() const noexcept { return tasks_dispatched_; }
+  int64_t tasks_finished() const noexcept { return tasks_finished_; }
+
+  // --- single-stage legacy API --------------------------------------------
+
+  /// Runs one stage to completion; requires that no other task set is in
+  /// flight. Policies must have been notified of the stage start already
+  /// (their initial pool sizes are read here). Tasks that fail are retried
+  /// up to max_task_failures times; exhausting the budget aborts the stage
   /// (stage_failed() returns true when on_done fires).
   void run_stage(const Stage& stage, std::vector<TaskSpec> tasks,
                  std::function<void()> on_done);
 
-  /// True when the last stage ended because a task ran out of attempts.
+  /// True when the last run_stage() ended because a task ran out of attempts.
   bool stage_failed() const noexcept { return stage_failed_; }
   int speculative_launches() const noexcept { return speculative_launches_; }
-  /// Executors currently blacklisted for the in-flight stage.
+  /// Executors currently blacklisted for any in-flight task set.
   int blacklisted_executors() const noexcept;
-  /// Successful task durations of the last (or current) stage.
+  /// Successful task durations of the last finished (or a current) set.
   const std::vector<double>& completed_durations() const noexcept {
     return completed_durations_;
   }
@@ -87,8 +172,7 @@ class TaskScheduler {
     ExecutorRuntime* exec;
     int advertised = 0;
     int assigned = 0;
-    int stage_failures = 0;  // failed attempts this stage (blacklisting)
-    bool blacklisted = false;
+    bool active = true;
   };
 
   struct TaskState {
@@ -99,28 +183,58 @@ class TaskScheduler {
     std::vector<size_t> copy_execs;  // executors currently running a copy
   };
 
+  struct TaskSet {
+    uint64_t id = 0;
+    int job_id = 0;
+    std::string pool;
+    Stage stage;  // owned copy: callers need not keep theirs alive
+    std::vector<TaskSpec> tasks;
+    std::vector<TaskState> state;
+    size_t remaining = 0;
+    int running = 0;  // dispatched copies (incl. in-flight launch messages)
+    bool failed = false;
+    bool locality_timer_armed = false;
+    TaskSetResult result;
+    TaskSetDone on_done;
+    // Per-set blacklisting (spark.blacklist.stage.*).
+    std::map<size_t, int> exec_failures;
+    std::vector<bool> exec_blacklisted;
+  };
+
+  TaskSet* find_set(uint64_t id) noexcept;
+  /// Task-set ids in slot-offer order under the current scheduling mode.
+  std::vector<uint64_t> offer_order() const;
   void try_assign();
-  std::optional<size_t> pick_task_for(size_t exec_idx);
-  void dispatch(size_t task_idx, size_t exec_idx, bool speculative);
-  void on_task_finished(const TaskSpec& spec, size_t exec_idx, bool success);
-  void maybe_finish_stage();
+  std::optional<size_t> pick_task_for(TaskSet& set, size_t exec_idx);
+  void dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
+                bool speculative);
+  void on_task_finished(uint64_t set_id, const TaskSpec& spec, size_t exec_idx,
+                        bool success);
+  void maybe_finish_set(TaskSet& set);
   void schedule_speculation_check();
-  int total_assigned() const noexcept;
+  const PoolSpec& pool_spec(const std::string& name) const noexcept;
+  int pool_running(const std::string& name) const noexcept;
 
   sim::Simulation& sim_;
   std::vector<ExecState> execs_;
   Options options_;
+  SchedulingMode mode_ = SchedulingMode::kFifo;
+  std::vector<PoolSpec> pool_specs_{PoolSpec{}};
+  ExecutorEngagedHook engaged_hook_;
 
-  const Stage* stage_ = nullptr;
-  double stage_start_time_ = 0.0;
-  bool locality_timer_armed_ = false;
-  std::vector<TaskSpec> tasks_;
-  std::vector<TaskState> state_;
+  // In-flight task sets, keyed by id (ids ascend in submission order).
+  std::map<uint64_t, TaskSet> sets_;
+  uint64_t next_set_id_ = 1;
+  bool speculation_timer_armed_ = false;
+
+  // Legacy single-stage view (last run_stage / last finished set).
   std::vector<double> completed_durations_;
-  size_t remaining_ = 0;
   bool stage_failed_ = false;
   int speculative_launches_ = 0;
-  std::function<void()> on_done_;
+
+  int64_t dispatch_overcommits_ = 0;
+  int64_t tasks_dispatched_ = 0;
+  int64_t tasks_finished_ = 0;
 };
 
 }  // namespace saex::engine

@@ -1,0 +1,382 @@
+#include "serve/job_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/format.h"
+#include "common/log.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace saex::serve {
+
+std::string_view admission_name(Admission a) noexcept {
+  switch (a) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kQueued: return "queued";
+    case Admission::kRejectedQueueFull: return "rejected:queue-full";
+    case Admission::kRejectedClientQuota: return "rejected:client-quota";
+  }
+  return "?";
+}
+
+std::vector<engine::PoolSpec> parse_pools(const std::string& spec) {
+  std::vector<engine::PoolSpec> pools;
+  std::istringstream stream(spec);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    if (entry.empty()) continue;
+    engine::PoolSpec pool;
+    std::istringstream fields(entry);
+    std::string name, weight, min_share;
+    std::getline(fields, name, ':');
+    std::getline(fields, weight, ':');
+    std::getline(fields, min_share, ':');
+    if (name.empty()) {
+      throw conf::ConfigError(
+          strfmt::format("saex.scheduler.pools: empty pool name in '{}'", spec));
+    }
+    pool.name = name;
+    try {
+      if (!weight.empty()) pool.weight = std::stoi(weight);
+      if (!min_share.empty()) pool.min_share = std::stoi(min_share);
+    } catch (const std::exception&) {
+      throw conf::ConfigError(strfmt::format(
+          "saex.scheduler.pools: malformed entry '{}' (want name:weight:minShare)",
+          entry));
+    }
+    if (pool.weight < 1 || pool.min_share < 0) {
+      throw conf::ConfigError(strfmt::format(
+          "saex.scheduler.pools: '{}' needs weight >= 1 and minShare >= 0",
+          entry));
+    }
+    pools.push_back(std::move(pool));
+  }
+  return pools;
+}
+
+JobServerOptions JobServerOptions::from_config(const conf::Config& config) {
+  JobServerOptions o;
+  o.max_concurrent_jobs =
+      static_cast<int>(config.get_int("saex.serve.maxConcurrentJobs"));
+  o.max_queued_jobs =
+      static_cast<int>(config.get_int("saex.serve.maxQueuedJobs"));
+  o.max_jobs_per_client =
+      static_cast<int>(config.get_int("saex.serve.maxJobsPerClient"));
+
+  std::string mode = config.get_string("saex.scheduler.mode");
+  std::transform(mode.begin(), mode.end(), mode.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (mode == "FIFO") {
+    o.mode = engine::SchedulingMode::kFifo;
+  } else if (mode == "FAIR") {
+    o.mode = engine::SchedulingMode::kFair;
+  } else {
+    throw conf::ConfigError(strfmt::format(
+        "saex.scheduler.mode '{}' (valid: FIFO, FAIR)", mode));
+  }
+  o.pools = parse_pools(config.get_string("saex.scheduler.pools"));
+  o.allocation = AllocationOptions::from_config(config);
+  return o;
+}
+
+double JobRecord::queue_wait() const noexcept {
+  if (report.first_launch_time >= 0.0) {
+    return report.first_launch_time - submit_time;
+  }
+  return start_time >= 0.0 ? start_time - submit_time : 0.0;
+}
+
+JobServer::JobServer(engine::SparkContext& ctx, JobServerOptions options)
+    : ctx_(&ctx), options_(std::move(options)) {
+  engine::TaskScheduler& sched = ctx_->scheduler();
+  sched.set_scheduling_mode(options_.mode);
+  for (const engine::PoolSpec& pool : options_.pools) sched.define_pool(pool);
+
+  // An idle executor picking up work restarts its policy's climb at c_min —
+  // both between jobs and right after a dynamic-allocation grant.
+  sched.set_executor_engaged_hook([this](int node, const engine::Stage& s) {
+    ctx_->executor(node).policy().on_stage_start(
+        {static_cast<int64_t>(s.uid), s.ordinal, s.io_tagged},
+        ctx_->cluster().sim().now());
+  });
+
+  allocation_ = std::make_unique<ExecutorAllocationManager>(
+      ctx_->cluster().sim(), sched, ctx_->num_executors(), options_.allocation,
+      [this] { return has_work(); }, &metrics_, &ctx_->event_log());
+  allocation_->start();
+}
+
+JobServer::JobServer(engine::SparkContext& ctx)
+    : JobServer(ctx, JobServerOptions::from_config(ctx.config())) {}
+
+bool JobServer::has_work() const noexcept {
+  return !running_.empty() || !queue_.empty();
+}
+
+int JobServer::client_load(const std::string& client) const noexcept {
+  int load = 0;
+  for (const int sid : queue_) {
+    if (records_[static_cast<size_t>(sid)].client == client) ++load;
+  }
+  for (const int sid : running_) {
+    if (records_[static_cast<size_t>(sid)].client == client) ++load;
+  }
+  return load;
+}
+
+Admission JobServer::submit(std::string name, std::string client,
+                            std::string pool, Builder build) {
+  const double now = ctx_->cluster().sim().now();
+  const int sid = static_cast<int>(records_.size());
+
+  Admission admission;
+  if (options_.max_jobs_per_client > 0 &&
+      client_load(client) >= options_.max_jobs_per_client) {
+    admission = Admission::kRejectedClientQuota;
+  } else if (static_cast<int>(running_.size()) < options_.max_concurrent_jobs) {
+    admission = Admission::kAccepted;
+  } else if (static_cast<int>(queue_.size()) < options_.max_queued_jobs) {
+    admission = Admission::kQueued;
+  } else {
+    admission = Admission::kRejectedQueueFull;
+  }
+
+  JobRecord rec;
+  rec.submission_id = sid;
+  rec.name = std::move(name);
+  rec.client = std::move(client);
+  rec.pool = std::move(pool);
+  rec.admission = admission;
+  rec.submit_time = now;
+  ctx_->event_log().record(engine::Event{
+      engine::EventKind::kJobSubmitted, now, sid, -1, -1, -1,
+      static_cast<int64_t>(admission), rec.name});
+  metrics_.counter("serve/jobs/submitted").increment();
+  records_.push_back(std::move(rec));
+
+  if (!admitted(admission)) {
+    ctx_->event_log().record(engine::Event{
+        engine::EventKind::kJobRejected, now, sid, -1, -1, -1,
+        static_cast<int64_t>(admission), records_.back().name});
+    metrics_.counter("serve/jobs/rejected").increment();
+    SAEX_DEBUG("serve: submission {} '{}' {}", sid, records_.back().name,
+               admission_name(admission));
+    return admission;
+  }
+
+  builders_.emplace(sid, std::move(build));
+  if (admission == Admission::kQueued) {
+    queue_.push_back(sid);
+    metrics_.counter("serve/jobs/queued").increment();
+    metrics_.gauge("serve/queue_length").set(static_cast<double>(queue_.size()));
+  } else {
+    start_job(sid);
+  }
+  allocation_->notify_work();
+  return admission;
+}
+
+void JobServer::start_job(int submission_id) {
+  JobRecord& rec = records_[static_cast<size_t>(submission_id)];
+  const double now = ctx_->cluster().sim().now();
+  rec.start_time = now;
+  running_.push_back(submission_id);
+  if (rec.admission == Admission::kQueued) {
+    ctx_->event_log().record(engine::Event{engine::EventKind::kJobDequeued,
+                                           now, submission_id, -1, -1, -1, 0,
+                                           rec.name});
+  }
+
+  const auto it = builders_.find(submission_id);
+  assert(it != builders_.end());
+  Builder build = std::move(it->second);
+  builders_.erase(it);
+  const engine::Rdd action = build(*ctx_);
+  rec.job_id = ctx_->submit_job(
+      action, rec.name, rec.pool, [this, submission_id](engine::JobReport r) {
+        on_job_finished(submission_id, std::move(r));
+      });
+}
+
+void JobServer::on_job_finished(int submission_id, engine::JobReport report) {
+  JobRecord& rec = records_[static_cast<size_t>(submission_id)];
+  rec.finish_time = ctx_->cluster().sim().now();
+  rec.failed = report.failed;
+  rec.report = std::move(report);
+  running_.erase(std::find(running_.begin(), running_.end(), submission_id));
+
+  metrics_.counter("serve/jobs/finished").increment();
+  if (rec.failed) metrics_.counter("serve/jobs/failed").increment();
+  double slot_seconds = 0.0;
+  for (const engine::StageStats& s : rec.report.stages) {
+    slot_seconds += s.task_seconds;
+  }
+  metrics_.counter(strfmt::format("serve/pool/{}/jobs", rec.pool)).increment();
+  metrics_.counter(strfmt::format("serve/pool/{}/slot_seconds", rec.pool))
+      .add(slot_seconds);
+  metrics_.counter(strfmt::format("serve/pool/{}/queue_wait", rec.pool))
+      .add(rec.queue_wait());
+
+  while (!queue_.empty() &&
+         static_cast<int>(running_.size()) < options_.max_concurrent_jobs) {
+    const int next = queue_.front();
+    queue_.pop_front();
+    start_job(next);
+  }
+  metrics_.gauge("serve/queue_length").set(static_cast<double>(queue_.size()));
+}
+
+ServeReport JobServer::replay(const std::vector<TraceJob>& trace,
+                              const TraceOptions& trace_options) {
+  load_trace_inputs(*ctx_, trace_options);
+  sim::Simulation& sim = ctx_->cluster().sim();
+  for (const TraceJob& job : trace) {
+    const TraceJob copy = job;
+    sim.schedule_at(job.arrival_time, [this, copy] {
+      submit(strfmt::format("{}#{}", copy.workload, copy.id), copy.client,
+             copy.pool, [copy](engine::SparkContext& ctx) {
+               return build_trace_job(ctx, copy);
+             });
+    });
+  }
+  return drain();
+}
+
+ServeReport JobServer::drain() {
+  sim::Simulation& sim = ctx_->cluster().sim();
+  sim.run();
+  assert(running_.empty() && queue_.empty() &&
+         "drained simulation with jobs still outstanding");
+
+  ServeReport out;
+  out.mode = options_.mode == engine::SchedulingMode::kFair ? "FAIR" : "FIFO";
+  out.jobs = records_;
+  out.submitted = static_cast<int>(records_.size());
+  out.executors_granted = allocation_->granted_total();
+  out.executors_released = allocation_->released_total();
+
+  double first_submit = 0.0, last_finish = 0.0;
+  std::vector<double> all_waits;
+  std::map<std::string, PoolStats> pools;
+  std::map<std::string, std::vector<double>> pool_waits, pool_spans;
+  bool first = true;
+  for (const JobRecord& rec : records_) {
+    switch (rec.admission) {
+      case Admission::kRejectedQueueFull: ++out.rejected_queue_full; continue;
+      case Admission::kRejectedClientQuota: ++out.rejected_client_quota; continue;
+      default: break;
+    }
+    ++out.started;
+    if (rec.finish_time < 0.0) continue;
+    ++out.finished;
+    if (rec.failed) ++out.failed;
+    if (out.policy.empty()) out.policy = rec.report.policy_name;
+    if (first || rec.submit_time < first_submit) first_submit = rec.submit_time;
+    if (first || rec.finish_time > last_finish) last_finish = rec.finish_time;
+    first = false;
+
+    PoolStats& pool = pools[rec.pool];
+    pool.pool = rec.pool;
+    ++pool.jobs;
+    if (rec.failed) ++pool.failed;
+    for (const engine::StageStats& s : rec.report.stages) {
+      pool.slot_seconds += s.task_seconds;
+    }
+    pool_waits[rec.pool].push_back(rec.queue_wait());
+    pool_spans[rec.pool].push_back(rec.makespan());
+    all_waits.push_back(rec.queue_wait());
+    out.makespan_sum += rec.makespan();
+  }
+  out.total_time = last_finish - first_submit;
+  if (!all_waits.empty()) out.queue_wait_p95 = percentile(all_waits, 0.95);
+
+  // Per-pool rollup + Jain fairness over weight-normalized service.
+  double share_sum = 0.0, share_sq = 0.0;
+  for (auto& [name, pool] : pools) {
+    for (const engine::PoolSpec& spec : ctx_->scheduler().pools()) {
+      if (spec.name == name) {
+        pool.weight = spec.weight;
+        pool.min_share = spec.min_share;
+      }
+    }
+    const auto& waits = pool_waits[name];
+    const auto& spans = pool_spans[name];
+    for (const double w : waits) pool.queue_wait_mean += w;
+    pool.queue_wait_mean /= static_cast<double>(waits.size());
+    pool.queue_wait_p95 = percentile(waits, 0.95);
+    for (const double s : spans) pool.makespan_mean += s;
+    pool.makespan_mean /= static_cast<double>(spans.size());
+    pool.makespan_p95 = percentile(spans, 0.95);
+
+    const double share = pool.slot_seconds / static_cast<double>(pool.weight);
+    share_sum += share;
+    share_sq += share * share;
+    out.pools.push_back(pool);
+  }
+  if (out.pools.size() > 1 && share_sq > 0.0) {
+    out.fairness_index = share_sum * share_sum /
+                         (static_cast<double>(out.pools.size()) * share_sq);
+  }
+  return out;
+}
+
+const PoolStats* ServeReport::pool(const std::string& name) const noexcept {
+  for (const PoolStats& p : pools) {
+    if (p.pool == name) return &p;
+  }
+  return nullptr;
+}
+
+std::string ServeReport::render() const {
+  std::ostringstream out;
+  out << strfmt::format(
+      "mode {}  policy {}  jobs: {} submitted, {} started, {} finished"
+      " ({} failed), {} rejected (queue-full {}, client-quota {})\n",
+      mode, policy, submitted, started, finished, failed,
+      rejected_queue_full + rejected_client_quota, rejected_queue_full,
+      rejected_client_quota);
+  out << strfmt::format(
+      "total {}  aggregate makespan {}  queue-wait p95 {}  fairness {:.3f}",
+      format_duration(total_time), format_duration(makespan_sum),
+      format_duration(queue_wait_p95), fairness_index);
+  if (executors_granted + executors_released > 0) {
+    out << strfmt::format("  dynalloc: +{} / -{} executors", executors_granted,
+                          executors_released);
+  }
+  out << "\n\n";
+
+  TextTable table({"pool", "w", "minShare", "jobs", "qwait mean", "qwait p95",
+                   "makespan mean", "makespan p95", "slot-secs"});
+  for (const PoolStats& p : pools) {
+    table.add_row({p.pool, strfmt::format("{}", p.weight),
+                   strfmt::format("{}", p.min_share),
+                   strfmt::format("{}", p.jobs),
+                   format_duration(p.queue_wait_mean),
+                   format_duration(p.queue_wait_p95),
+                   format_duration(p.makespan_mean),
+                   format_duration(p.makespan_p95),
+                   strfmt::format("{:.1f}", p.slot_seconds)});
+  }
+  out << table.render();
+  return out.str();
+}
+
+std::string ServeReport::render_jobs() const {
+  TextTable table({"id", "client", "pool", "job", "admission", "qwait",
+                   "makespan", "outcome"});
+  for (const JobRecord& rec : jobs) {
+    const bool ran = rec.finish_time >= 0.0;
+    table.add_row({strfmt::format("{}", rec.submission_id), rec.client,
+                   rec.pool, rec.name, std::string(admission_name(rec.admission)),
+                   ran ? format_duration(rec.queue_wait()) : "-",
+                   ran ? format_duration(rec.makespan()) : "-",
+                   !ran ? "rejected" : rec.failed ? "FAILED" : "ok"});
+  }
+  return table.render();
+}
+
+}  // namespace saex::serve

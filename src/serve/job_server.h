@@ -1,0 +1,175 @@
+// Multi-tenant job server: long-running Spark-style scheduling of concurrent
+// jobs on one shared simulated cluster.
+//
+// Layers, submission to execution:
+//
+//   submit() → admission control (bounded in-flight jobs, bounded queue,
+//   per-client quota; typed Admission result) → FIFO dequeue as slots free →
+//   SparkContext::submit_job() (event-driven runnable stage set) → shared
+//   TaskScheduler arbitrating slots across jobs in FIFO or FAIR pool order →
+//   optional dynamic executor allocation growing/shrinking the active
+//   executor set with the backlog.
+//
+// The server installs the scheduler's executor-engaged hook so an executor's
+// adaptive policy restarts its MAPE-K hill climb (at c_min) whenever the
+// executor picks up work after being idle — including right after a dynamic
+// allocation grant.
+//
+// Everything runs on the cluster's simulation clock; replay() of a fixed
+// trace with a fixed seed is deterministic down to the per-job reports.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/context.h"
+#include "metrics/registry.h"
+#include "serve/allocation.h"
+#include "serve/trace.h"
+
+namespace saex::serve {
+
+/// Typed admission outcome of submit().
+enum class Admission {
+  kAccepted,            // started immediately
+  kQueued,              // waiting for a concurrency slot
+  kRejectedQueueFull,   // backpressure: queue at saex.serve.maxQueuedJobs
+  kRejectedClientQuota, // client exceeded saex.serve.maxJobsPerClient
+};
+
+std::string_view admission_name(Admission a) noexcept;
+inline bool admitted(Admission a) noexcept {
+  return a == Admission::kAccepted || a == Admission::kQueued;
+}
+
+/// Parses "name:weight:minShare,..." (weight and minShare optional, e.g.
+/// "interactive:3:32,batch"). Throws conf::ConfigError on malformed input.
+std::vector<engine::PoolSpec> parse_pools(const std::string& spec);
+
+struct JobServerOptions {
+  int max_concurrent_jobs = 8;
+  int max_queued_jobs = 64;
+  int max_jobs_per_client = 0;  // 0 = unlimited
+  engine::SchedulingMode mode = engine::SchedulingMode::kFifo;
+  std::vector<engine::PoolSpec> pools;
+  AllocationOptions allocation;
+
+  /// Reads saex.scheduler.* / saex.serve.* / spark.dynamicAllocation.*.
+  static JobServerOptions from_config(const conf::Config& config);
+};
+
+/// One submission's lifecycle, rejected or finished.
+struct JobRecord {
+  int submission_id = -1;  // server-side id, dense in submission order
+  int job_id = -1;         // engine job id (−1 until started)
+  std::string name;
+  std::string client;
+  std::string pool;
+  Admission admission = Admission::kAccepted;
+  double submit_time = 0.0;
+  double start_time = -1.0;   // left the queue (−1: rejected)
+  double finish_time = -1.0;  // report delivered (−1: not finished)
+  bool failed = false;
+  engine::JobReport report;
+
+  /// Submission → first task actually running (the user-visible queue wait:
+  /// admission queue + slot wait inside the scheduler).
+  double queue_wait() const noexcept;
+  double makespan() const noexcept {
+    return finish_time >= 0.0 ? finish_time - submit_time : 0.0;
+  }
+};
+
+struct PoolStats {
+  std::string pool;
+  int weight = 1;
+  int min_share = 0;
+  int jobs = 0;
+  int failed = 0;
+  double queue_wait_mean = 0.0;
+  double queue_wait_p95 = 0.0;
+  double makespan_mean = 0.0;
+  double makespan_p95 = 0.0;
+  double slot_seconds = 0.0;  // Σ successful task durations
+};
+
+struct ServeReport {
+  std::string mode;    // FIFO | FAIR
+  std::string policy;  // executor thread policy name
+  std::vector<JobRecord> jobs;  // by submission id (incl. rejected)
+  std::vector<PoolStats> pools;
+
+  int submitted = 0;
+  int started = 0;
+  int finished = 0;
+  int failed = 0;
+  int rejected_queue_full = 0;
+  int rejected_client_quota = 0;
+  int executors_granted = 0;
+  int executors_released = 0;
+
+  double total_time = 0.0;      // first submission → last finish
+  double makespan_sum = 0.0;    // Σ per-job makespans (aggregate latency)
+  double queue_wait_p95 = 0.0;  // across all finished jobs
+  /// Jain index over per-pool weight-normalized slot-seconds: 1 = every pool
+  /// received service exactly proportional to its weight.
+  double fairness_index = 1.0;
+
+  const PoolStats* pool(const std::string& name) const noexcept;
+  /// Admission counts, fairness, and the per-pool table.
+  std::string render() const;
+  /// One row per submission (id, pool, workload, waits, makespan, outcome).
+  std::string render_jobs() const;
+};
+
+class JobServer {
+ public:
+  using Builder = std::function<engine::Rdd(engine::SparkContext&)>;
+
+  JobServer(engine::SparkContext& ctx, JobServerOptions options);
+  /// Options from ctx.config().
+  explicit JobServer(engine::SparkContext& ctx);
+
+  /// Admission-controlled submission. `build` is invoked when the job
+  /// actually starts. Returns the typed admission decision; rejected
+  /// submissions are recorded but never run.
+  Admission submit(std::string name, std::string client, std::string pool,
+                   Builder build);
+
+  /// Schedules every trace job's submission at its arrival time (loading the
+  /// shared inputs first), then drains the simulation and reports.
+  ServeReport replay(const std::vector<TraceJob>& trace,
+                     const TraceOptions& trace_options = {});
+
+  /// Runs the simulation until all admitted jobs finished; builds the report.
+  ServeReport drain();
+
+  int running_jobs() const noexcept { return static_cast<int>(running_.size()); }
+  int queued_jobs() const noexcept { return static_cast<int>(queue_.size()); }
+  const std::vector<JobRecord>& records() const noexcept { return records_; }
+  metrics::Registry& metrics() noexcept { return metrics_; }
+  ExecutorAllocationManager& allocation() noexcept { return *allocation_; }
+  const JobServerOptions& options() const noexcept { return options_; }
+
+ private:
+  void start_job(int submission_id);
+  void on_job_finished(int submission_id, engine::JobReport report);
+  bool has_work() const noexcept;
+  int client_load(const std::string& client) const noexcept;
+
+  engine::SparkContext* ctx_;
+  JobServerOptions options_;
+  metrics::Registry metrics_;
+  std::unique_ptr<ExecutorAllocationManager> allocation_;
+
+  std::vector<JobRecord> records_;      // by submission id
+  std::map<int, Builder> builders_;     // pending builds by submission id
+  std::deque<int> queue_;               // queued submission ids (FIFO)
+  std::vector<int> running_;            // running submission ids
+};
+
+}  // namespace saex::serve

@@ -1,0 +1,55 @@
+// Seeded multi-tenant arrival traces for the job server.
+//
+// A trace is a list of (arrival time, client, pool, workload template) rows
+// drawn from a single Rng seed: exponential inter-arrival times (bursty, as
+// in production Spark clusters) and a small/large workload mix. Small
+// interactive jobs (scan / aggregation over a shared small table) go to the
+// "interactive" pool; heavy batch jobs (sort / join over a shared big table)
+// go to "batch". Inputs are shared DFS files loaded once; each job writes a
+// unique output path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/context.h"
+
+namespace saex::serve {
+
+struct TraceJob {
+  int id = 0;
+  std::string client;    // submitting tenant ("client0"..)
+  std::string pool;      // "interactive" | "batch"
+  std::string workload;  // "scan" | "aggregation" | "sort" | "join"
+  double arrival_time = 0.0;
+};
+
+struct TraceOptions {
+  int num_jobs = 50;
+  double mean_interarrival = 3.0;  // seconds (exponential)
+  double small_fraction = 0.6;     // share of interactive jobs
+  int num_clients = 4;
+  uint64_t seed = 42;
+
+  // Shared input sizes (loaded once per context).
+  Bytes small_input = gib(1.0);  // scan/aggregation table
+  Bytes big_input = gib(4.0);    // sort/join fact table
+  Bytes dim_input = gib(0.5);    // join dimension table
+};
+
+/// Names of the workload templates build_trace_job understands, in the order
+/// they are documented (small-pool templates first).
+const std::vector<std::string>& trace_workload_names();
+
+/// Draws a deterministic trace (sorted by arrival time).
+std::vector<TraceJob> make_trace(const TraceOptions& options);
+
+/// Loads the shared input files into the context's DFS (idempotent).
+void load_trace_inputs(engine::SparkContext& ctx, const TraceOptions& options);
+
+/// Builds the plan for one trace job on the shared context. Output paths are
+/// unique per job id ("/serve/out/job<N>"). Throws std::invalid_argument for
+/// an unknown workload template.
+engine::Rdd build_trace_job(engine::SparkContext& ctx, const TraceJob& job);
+
+}  // namespace saex::serve

@@ -7,6 +7,7 @@
 //   saexsim --workload pagerank --policy sweep            # static {32..2}
 //   saexsim --workload join --nodes 16 --ssd --seed 7
 //   saexsim --workload terasort --policy dynamic --trace /tmp/run.json
+//   saexsim serve --jobs 50 --mode FAIR --dynalloc       # multi-tenant server
 //   saexsim --list
 #include <cstdio>
 #include <cstdlib>
@@ -18,13 +19,21 @@
 
 #include "common/format.h"
 #include "common/log.h"
+#include "serve/job_server.h"
 #include "workloads/workloads.h"
 
 namespace {
 
 using namespace saex;
 
+const char* kWorkloadChoices =
+    "terasort pagerank aggregation join scan bayes lda nweight svm "
+    "wordcount sort kmeans";
+const char* kPolicyChoices = "default static dynamic aimd sweep";
+const char* kModeChoices = "FIFO FAIR";
+
 struct Args {
+  bool serve = false;  // "serve" subcommand
   std::string workload = "terasort";
   std::string policy = "dynamic";
   int nodes = 4;
@@ -39,15 +48,26 @@ struct Args {
   std::string trace_path;
   bool list = false;
   bool help = false;
+
+  // serve subcommand
+  int serve_jobs = 50;
+  double arrival_mean = 3.0;
+  std::string mode = "FAIR";
+  std::string pools = "interactive:3:16,batch:1:0";
+  int max_concurrent = 8;
+  int max_queued = 64;
+  int max_per_client = 0;
+  bool dynalloc = false;
+  bool jobs_table = false;
 };
 
 void usage() {
-  std::puts(
+  std::printf(
       "saexsim — self-adaptive-executor simulator\n"
       "\n"
-      "  --workload NAME     terasort|pagerank|aggregation|join|scan|bayes|\n"
-      "                      lda|nweight|svm (default terasort); --list shows all\n"
-      "  --policy P          default|static|dynamic|sweep (default dynamic);\n"
+      "  --workload NAME     one of: %s\n"
+      "                      (default terasort); --list shows details\n"
+      "  --policy P          one of: %s (default dynamic);\n"
       "                      sweep runs the static {32,16,8,4,2} series\n"
       "  --io-threads N      static policy thread count (default 8)\n"
       "  --nodes N           cluster size (default 4)\n"
@@ -59,12 +79,33 @@ void usage() {
       "  --speculation       enable speculative execution\n"
       "  --eventlog FILE     write the event log as JSON lines\n"
       "  --trace FILE        write a chrome://tracing file\n"
-      "  --verbose           INFO-level engine logging\n");
+      "  --verbose           INFO-level engine logging\n"
+      "\n"
+      "saexsim serve — multi-tenant job server replaying an arrival trace\n"
+      "\n"
+      "  --jobs N            trace length (default 50)\n"
+      "  --arrival-mean X    mean inter-arrival seconds, exponential (default 3)\n"
+      "  --mode M            one of: %s (default FAIR)\n"
+      "  --pools SPEC        name:weight:minShare,... (default\n"
+      "                      interactive:3:16,batch:1:0)\n"
+      "  --max-concurrent N  admission: jobs running at once (default 8)\n"
+      "  --max-queued N      admission: queue capacity (default 64)\n"
+      "  --max-per-client N  admission: per-client quota, 0=off (default 0)\n"
+      "  --dynalloc          enable dynamic executor allocation\n"
+      "  --jobs-table        also print the per-submission table\n"
+      "  (--policy, --nodes, --ssd, --seed, --parallelism, --eventlog,\n"
+      "   --trace apply here too)\n",
+      kWorkloadChoices, kPolicyChoices, kModeChoices);
 }
 
 std::optional<Args> parse(int argc, char** argv) {
   Args args;
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    args.serve = true;
+    first = 2;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -97,6 +138,24 @@ std::optional<Args> parse(int argc, char** argv) {
       args.eventlog_path = value();
     } else if (a == "--trace") {
       args.trace_path = value();
+    } else if (a == "--jobs") {
+      args.serve_jobs = std::atoi(value());
+    } else if (a == "--arrival-mean") {
+      args.arrival_mean = std::atof(value());
+    } else if (a == "--mode") {
+      args.mode = value();
+    } else if (a == "--pools") {
+      args.pools = value();
+    } else if (a == "--max-concurrent") {
+      args.max_concurrent = std::atoi(value());
+    } else if (a == "--max-queued") {
+      args.max_queued = std::atoi(value());
+    } else if (a == "--max-per-client") {
+      args.max_per_client = std::atoi(value());
+    } else if (a == "--dynalloc") {
+      args.dynalloc = true;
+    } else if (a == "--jobs-table") {
+      args.jobs_table = true;
     } else if (a == "--verbose") {
       log::set_level(log::Level::kInfo);
     } else if (a == "--list") {
@@ -201,6 +260,62 @@ int run_once(const Args& args, const workloads::WorkloadSpec& spec,
   return 0;
 }
 
+int run_serve(const Args& args) {
+  hw::ClusterSpec cs = args.ssd ? hw::ClusterSpec::das5_ssd(args.nodes)
+                                : hw::ClusterSpec::das5(args.nodes);
+  cs.seed = args.seed;
+  hw::Cluster cluster(cs);
+
+  conf::Config config;
+  config.set("saex.executor.policy", args.policy);
+  config.set_int("saex.static.ioThreads", args.io_threads);
+  config.set_int("spark.default.parallelism",
+                 args.parallelism > 0 ? args.parallelism : args.nodes * 32);
+  config.set("saex.scheduler.mode", args.mode);
+  config.set("saex.scheduler.pools", args.pools);
+  config.set_int("saex.serve.maxConcurrentJobs", args.max_concurrent);
+  config.set_int("saex.serve.maxQueuedJobs", args.max_queued);
+  config.set_int("saex.serve.maxJobsPerClient", args.max_per_client);
+  if (args.dynalloc) {
+    config.set_bool("spark.dynamicAllocation.enabled", true);
+    config.set_int("spark.dynamicAllocation.minExecutors", 1);
+    config.set_int("spark.dynamicAllocation.initialExecutors", 1);
+    config.set("spark.dynamicAllocation.executorIdleTimeout", "10s");
+  }
+
+  try {
+    engine::SparkContext ctx(cluster, std::move(config));
+    serve::JobServer server(ctx);
+
+    serve::TraceOptions trace_options;
+    trace_options.num_jobs = args.serve_jobs;
+    trace_options.mean_interarrival = args.arrival_mean;
+    trace_options.seed = args.seed;
+    const serve::ServeReport report =
+        server.replay(serve::make_trace(trace_options), trace_options);
+
+    std::printf("%s\n", report.render().c_str());
+    if (args.jobs_table) std::printf("\n%s\n", report.render_jobs().c_str());
+
+    if (!args.eventlog_path.empty()) {
+      const bool ok = engine::EventLog::write_file(
+          args.eventlog_path, ctx.event_log().to_json_lines());
+      std::printf("%s event log -> %s\n", ok ? "wrote" : "FAILED to write",
+                  args.eventlog_path.c_str());
+    }
+    if (!args.trace_path.empty()) {
+      const bool ok = engine::EventLog::write_file(
+          args.trace_path, ctx.event_log().to_chrome_trace());
+      std::printf("%s chrome trace -> %s (open in chrome://tracing)\n",
+                  ok ? "wrote" : "FAILED to write", args.trace_path.c_str());
+    }
+  } catch (const conf::ConfigError& e) {
+    std::fprintf(stderr, "invalid serve configuration: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,10 +339,29 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const bool serve_policy_ok =
+      args.policy == "default" || args.policy == "static" ||
+      args.policy == "dynamic" || args.policy == "aimd";
+  if (args.serve) {
+    if (!serve_policy_ok) {
+      std::fprintf(stderr,
+                   "unknown policy '%s' for serve (valid: default static "
+                   "dynamic aimd)\n",
+                   args.policy.c_str());
+      return 2;
+    }
+    if (args.mode != "FIFO" && args.mode != "FAIR") {
+      std::fprintf(stderr, "unknown scheduling mode '%s' (valid: %s)\n",
+                   args.mode.c_str(), kModeChoices);
+      return 2;
+    }
+    return run_serve(args);
+  }
+
   const auto spec = find_workload(args.workload, args.size_gib);
   if (!spec) {
-    std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
-                 args.workload.c_str());
+    std::fprintf(stderr, "unknown workload '%s' (valid: %s; --list shows details)\n",
+                 args.workload.c_str(), kWorkloadChoices);
     return 2;
   }
 
@@ -238,9 +372,9 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (args.policy != "default" && args.policy != "static" &&
-      args.policy != "dynamic") {
-    std::fprintf(stderr, "unknown policy '%s'\n", args.policy.c_str());
+  if (!serve_policy_ok) {
+    std::fprintf(stderr, "unknown policy '%s' (valid: %s)\n",
+                 args.policy.c_str(), kPolicyChoices);
     return 2;
   }
   return run_once(args, *spec, args.policy, args.io_threads);
