@@ -359,6 +359,32 @@ void define_adaptive_extension(Registry& r) {
             "(exercises spark.blacklist.*)."});
   r.define({"saex.sim.flakyNodeFailureProb", c, V::kDouble, "0",
             "Per-attempt failure probability on the flaky node."});
+  r.define({"saex.fault.enabled", c, V::kBool, "false",
+            "Master switch for the seeded FaultPlan (saex::fault); when "
+            "false every other saex.fault.* key is inert."});
+  r.define({"saex.fault.seed", c, V::kInt, "0",
+            "Extra seed XORed into the cluster seed for fault randomness "
+            "(shuffle-fetch drops); same seed => bitwise-identical replay."});
+  r.define({"saex.fault.killNode", c, V::kInt, "-1",
+            "Executor (node id) the kill trigger targets; -1 disables the "
+            "kill injection."});
+  r.define({"saex.fault.killTime", c, V::kDurationSeconds, "-1",
+            "Simulated time at which the target executor dies; negative "
+            "disables the time trigger."});
+  r.define({"saex.fault.killAfterTasks", c, V::kInt, "-1",
+            "Kill the target executor once this many task attempts finished "
+            "cluster-wide; negative disables the count trigger."});
+  r.define({"saex.fault.slowNode", c, V::kInt, "-1",
+            "Node whose disk degrades at slowTime (straggler injection); "
+            "-1 disables."});
+  r.define({"saex.fault.slowFactor", c, V::kDouble, "0.3",
+            "Disk speed factor applied to the slow node (fraction of its "
+            "configured bandwidth)."});
+  r.define({"saex.fault.slowTime", c, V::kDurationSeconds, "0s",
+            "Simulated time at which the slow node's disk degrades."});
+  r.define({"saex.fault.fetchFailProb", c, V::kDouble, "0",
+            "Probability an individual remote shuffle fetch is dropped "
+            "(transient network fault); the attempt fails and is retried."});
 }
 
 Registry build_registry() {

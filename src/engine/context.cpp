@@ -77,6 +77,14 @@ SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
       config_.get_double("saex.sim.flakyNodeFailureProb");
   env.event_log = &event_log_;
 
+  // Fault truth exists even with injection off (then it is entirely
+  // passive), so tests can kill executors directly.
+  const fault::FaultSpec fault_spec = fault::FaultSpec::from_config(config_);
+  fault_state_ = std::make_unique<fault::FaultState>(
+      cluster.size(), cluster.spec().seed ^ fault_spec.seed,
+      fault_spec.fetch_fail_prob);
+  env.fault = fault_state_.get();
+
   const int vcores = static_cast<int>(config_.get_int("spark.executor.cores"));
   std::vector<ExecutorRuntime*> raw;
   for (int n = 0; n < cluster.size(); ++n) {
@@ -101,6 +109,32 @@ SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
   sched_options.event_log = &event_log_;
   scheduler_ = std::make_unique<TaskScheduler>(cluster.sim(), raw,
                                                sched_options);
+  scheduler_->set_fetch_failure_hook(
+      [this](uint64_t set_id, const Stage&, int shuffle_id, int src_node,
+             const TaskSpec&) {
+        return on_fetch_failure(set_id, shuffle_id, src_node);
+      });
+  scheduler_->set_task_finish_hook([this](int64_t finished) {
+    if (fault_plan_) fault_plan_->notify_task_finished(finished);
+  });
+  if (fault_spec.enabled) {
+    fault::FaultPlan::Hooks hooks;
+    hooks.kill_executor = [this](int node) { kill_executor(node); };
+    hooks.degrade_disk = [this](int node, double factor) {
+      if (node < 0 || node >= cluster_->size()) {
+        SAEX_WARN("ignoring disk degrade on node {}: cluster has nodes 0..{}",
+                  node, cluster_->size() - 1);
+        return;
+      }
+      cluster_->node(node).set_disk_speed_factor(factor);
+      event_log_.record(Event{EventKind::kDiskDegraded, cluster_->sim().now(),
+                              -1, -1, -1, node,
+                              static_cast<int64_t>(factor * 100.0), {}});
+    };
+    fault_plan_ = std::make_unique<fault::FaultPlan>(fault_spec, cluster.sim(),
+                                                     std::move(hooks));
+    fault_plan_->arm();
+  }
 
   dag_ = std::make_unique<DagScheduler>(
       *dfs_, static_cast<int>(config_.get_int("spark.default.parallelism")));
@@ -175,6 +209,153 @@ std::vector<TaskSpec> SparkContext::make_tasks(const Stage& stage) const {
     tasks.push_back(std::move(t));
   }
   return tasks;
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: executor loss and lineage recovery.
+//
+// Killing an executor loses everything its *process* held: registered
+// shuffle map outputs and cached RDD partitions. DFS blocks live in the
+// datanode and survive. Lost shuffle partitions are recomputed by
+// resubmitting the producing stage for exactly those partitions (Spark's
+// lineage resubmission); task sets that fetch from a recovering shuffle are
+// parked (held) and resume when the rebuild lands. Lost cached partitions
+// have no lineage here, so tasks reading them exhaust their retry budget and
+// the job fails with a typed abort.
+// ---------------------------------------------------------------------------
+
+void SparkContext::kill_executor(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(executors_.size())) {
+    SAEX_WARN("ignoring kill of executor {}: cluster has nodes 0..{}", node_id,
+              executors_.size() - 1);
+    return;
+  }
+  if (!fault_state_->node_alive(node_id)) return;  // idempotent
+  const double now = cluster_->sim().now();
+  SAEX_WARN("executor {} lost at t={:.3f}", node_id, now);
+  fault_state_->mark_dead(node_id);
+  event_log_.record(
+      Event{EventKind::kExecutorLost, now, -1, -1, -1, node_id, 0, {}});
+  // Order matters: stop offers first, then fail the running attempts, then
+  // drop the map outputs so recovery sees the final loss.
+  scheduler_->kill_executor(node_id);
+  executors_[static_cast<size_t>(node_id)]->kill();
+  const std::map<int, std::vector<int>> lost = shuffles_->on_node_lost(node_id);
+  for (const auto& [shuffle_id, partitions] : lost) {
+    recover_shuffle(shuffle_id, partitions);
+  }
+}
+
+void SparkContext::record_shuffle_producer(const Stage& stage) {
+  if (stage.sink == StageSink::kShuffleWrite && stage.out_shuffle_id >= 0) {
+    shuffle_producers_.insert_or_assign(stage.out_shuffle_id, stage);
+  }
+}
+
+FetchFailureAction SparkContext::on_fetch_failure(uint64_t set_id,
+                                                  int shuffle_id,
+                                                  int src_node) {
+  if (shuffle_id < 0) {
+    // Cached partition on a dead executor: no lineage to rebuild it from,
+    // so the failure is charged and the retry budget bounds the job.
+    return FetchFailureAction::kCharge;
+  }
+  if (fault_state_->node_alive(src_node)) {
+    // Transient seeded drop: the data is still there, charge and retry.
+    return FetchFailureAction::kCharge;
+  }
+  const auto it = recovering_.find(shuffle_id);
+  if (it != recovering_.end() && it->second > 0) {
+    // Rebuild in flight: park the set; on_recovery_done releases it.
+    held_sets_[shuffle_id].push_back(set_id);
+    return FetchFailureAction::kHold;
+  }
+  // Recovery already finished (or the kill hook raced this status update):
+  // a free retry re-plans its fetches against the rebuilt outputs.
+  return FetchFailureAction::kRetry;
+}
+
+void SparkContext::recover_shuffle(int shuffle_id,
+                                   const std::vector<int>& partitions) {
+  const auto it = shuffle_producers_.find(shuffle_id);
+  if (it == shuffle_producers_.end()) {
+    SAEX_WARN("shuffle {} lost {} partitions but has no recorded producer",
+              shuffle_id, partitions.size());
+    return;
+  }
+  const Stage& producer = it->second;
+  ++recovering_[shuffle_id];
+  SAEX_WARN("resubmitting stage {} '{}' for {} lost partitions of shuffle {}",
+            producer.ordinal, producer.name, partitions.size(), shuffle_id);
+  event_log_.record(Event{EventKind::kStageResubmitted, cluster_->sim().now(),
+                          -1, producer.ordinal, -1, -1,
+                          static_cast<int64_t>(partitions.size()),
+                          producer.name});
+
+  // Park every running consumer *now*, not on its first fetch failure: once
+  // on_node_lost dropped the dead node's commits, a newly launched reader
+  // would plan its fetches from the surviving partial outputs and silently
+  // read incomplete data (Spark's MetadataFetchFailed case).
+  for (const uint64_t id : scheduler_->hold_sets_reading(shuffle_id)) {
+    held_sets_[shuffle_id].push_back(id);
+  }
+
+  std::vector<TaskSpec> all = make_tasks(producer);
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(partitions.size());
+  for (const int p : partitions) {
+    tasks.push_back(all[static_cast<size_t>(p)]);
+  }
+  // job_id -1 outranks every real job under FIFO, so the rebuild is not
+  // starved by the very work that waits on it.
+  scheduler_->submit_stage(
+      producer, std::move(tasks), /*job_id=*/-1, "default",
+      [this, shuffle_id](const TaskScheduler::TaskSetResult& result) {
+        on_recovery_done(shuffle_id, result.failed);
+      });
+}
+
+void SparkContext::on_recovery_done(int shuffle_id, bool failed) {
+  const auto it = recovering_.find(shuffle_id);
+  assert(it != recovering_.end() && "recovery finished for unknown shuffle");
+  if (--it->second > 0) return;
+  recovering_.erase(it);
+
+  std::vector<uint64_t> held;
+  if (const auto h = held_sets_.find(shuffle_id); h != held_sets_.end()) {
+    held = std::move(h->second);
+    held_sets_.erase(h);
+  }
+  if (failed) {
+    SAEX_WARN("lineage recovery of shuffle {} failed; aborting dependents",
+              shuffle_id);
+    for (const uint64_t id : held) scheduler_->abort_set(id);
+  } else {
+    for (const uint64_t id : held) {
+      // A set reading two recovering shuffles (a join) stays parked until the
+      // last of them has been rebuilt.
+      bool still_held = false;
+      for (const auto& [sid, ids] : held_sets_) {
+        for (const uint64_t other : ids) {
+          if (other == id) {
+            still_held = true;
+            break;
+          }
+        }
+        if (still_held) break;
+      }
+      if (!still_held) scheduler_->hold_set(id, false);
+    }
+    // Stages deferred because their input shuffle was rebuilding can go now.
+    for (auto& [job_id, run] : jobs_) submit_ready_stages(*run);
+  }
+}
+
+bool SparkContext::input_recovering(const Stage& stage) const {
+  for (const int sid : stage.in_shuffle_ids) {
+    if (recovering_.count(sid) > 0) return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -266,6 +447,9 @@ void SparkContext::submit_ready_stages(JobRun& run) {
         run.submitted.count(stage.uid) > 0) {
       continue;
     }
+    // A stage fetching from a shuffle under lineage recovery would only
+    // fail and park; defer it until on_recovery_done resubmits.
+    if (input_recovering(stage)) continue;
     run.submitted.insert(stage.uid);
     submit_stage_of(run, stage);
   }
@@ -291,6 +475,7 @@ void SparkContext::submit_stage_of(JobRun& run, Stage& stage) {
 
   event_log_.record(Event{EventKind::kStageStart, now, run.job_id,
                           app_ordinal, -1, -1, stage.num_tasks, stage.name});
+  record_shuffle_producer(stage);
   ++run.in_flight;
   const int uid = stage.uid;
   const int job_id = run.job_id;
@@ -459,6 +644,15 @@ JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {
   };
 
   for (Stage& stage : plan.stages) {
+    // A mid-stage executor kill may have left lineage recovery in flight;
+    // a consumer stage must not plan its fetches until the rebuild lands.
+    while (input_recovering(stage)) {
+      if (!sim.step()) {
+        throw std::runtime_error(strfmt::format(
+            "stage {} deadlocked waiting for lineage recovery",
+            stage.ordinal));
+      }
+    }
     const double stage_start = sim.now();
 
     // Stage start: every executor's policy (re)sizes its pool. The ordinal
@@ -484,6 +678,7 @@ JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {
     event_log_.record(Event{EventKind::kStageStart, stage_start, job_id,
                             sctx.stage_ordinal, -1, -1, stage.num_tasks,
                             stage.name});
+    record_shuffle_producer(stage);
     bool done = false;
     scheduler_->run_stage(stage, make_tasks(stage), [&done] { done = true; });
     uint64_t steps = 0;
@@ -504,9 +699,11 @@ JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {
                             sctx.stage_ordinal, -1, -1, 0, stage.name});
 
     if (scheduler_->stage_failed()) {
-      throw std::runtime_error(strfmt::format(
-          "stage {} aborted: a task exceeded spark.task.maxFailures",
-          stage.ordinal));
+      throw StageAbortedError(
+          stage.ordinal,
+          strfmt::format(
+              "stage {} aborted: a task exceeded spark.task.maxFailures",
+              stage.ordinal));
     }
 
     // Register the produced output file so downstream stages could read it.

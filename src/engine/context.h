@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,23 @@
 #include "engine/report.h"
 #include "engine/shuffle.h"
 #include "engine/task_scheduler.h"
+#include "fault/fault.h"
 #include "hw/cluster.h"
 
 namespace saex::engine {
+
+/// run_job() throws this when a stage exhausts its retry budget (instead of
+/// a bare runtime_error, so callers can tell a typed job failure from an
+/// engine bug). Derives from runtime_error: pre-existing catch sites hold.
+class StageAbortedError : public std::runtime_error {
+ public:
+  StageAbortedError(int stage_ordinal, const std::string& what)
+      : std::runtime_error(what), stage_ordinal_(stage_ordinal) {}
+  int stage_ordinal() const noexcept { return stage_ordinal_; }
+
+ private:
+  int stage_ordinal_;
+};
 
 class SparkContext {
  public:
@@ -91,6 +106,23 @@ class SparkContext {
   TaskScheduler& scheduler() noexcept { return *scheduler_; }
   ShuffleManager& shuffles() noexcept { return *shuffles_; }
 
+  // --- fault tolerance -----------------------------------------------------
+
+  /// Kills the executor on `node`: its running attempts drain as
+  /// kExecutorLost, it receives no further offers, its shuffle map outputs
+  /// and cached partitions are gone, and lineage recovery resubmits the
+  /// producing stages for the lost shuffle partitions. Idempotent. Called by
+  /// the armed FaultPlan (saex.fault.killNode) or directly by tests.
+  void kill_executor(int node_id);
+
+  fault::FaultState& fault_state() noexcept { return *fault_state_; }
+  /// Non-null only when saex.fault.enabled is true.
+  fault::FaultPlan* fault_plan() noexcept { return fault_plan_.get(); }
+  /// Shuffles whose lost partitions are being recomputed right now.
+  int recovering_shuffles() const noexcept {
+    return static_cast<int>(recovering_.size());
+  }
+
  private:
   struct JobRun;
 
@@ -101,6 +133,13 @@ class SparkContext {
   void on_stage_finished(JobRun& run, Stage& stage,
                          const TaskScheduler::TaskSetResult& result);
   void maybe_finish_job(JobRun& run);
+
+  FetchFailureAction on_fetch_failure(uint64_t set_id, int shuffle_id,
+                                      int src_node);
+  void record_shuffle_producer(const Stage& stage);
+  void recover_shuffle(int shuffle_id, const std::vector<int>& partitions);
+  void on_recovery_done(int shuffle_id, bool failed);
+  bool input_recovering(const Stage& stage) const;
 
   hw::Cluster* cluster_;
   conf::Config config_;
@@ -117,6 +156,13 @@ class SparkContext {
   int job_counter_ = 0;
   int app_stage_counter_ = 0;
   std::map<int, std::unique_ptr<JobRun>> jobs_;  // in-flight submit_job runs
+
+  // Fault injection + lineage recovery.
+  std::unique_ptr<fault::FaultState> fault_state_;
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
+  std::map<int, Stage> shuffle_producers_;  // shuffle id -> producing stage
+  std::map<int, int> recovering_;           // shuffle id -> in-flight recoveries
+  std::map<int, std::vector<uint64_t>> held_sets_;  // parked on recovery
 };
 
 /// Builds the PolicyFactory implied by `config` ("saex.executor.policy" =

@@ -23,6 +23,10 @@ std::string_view event_kind_name(EventKind kind) noexcept {
     case EventKind::kJobDequeued: return "JobDequeued";
     case EventKind::kExecutorGranted: return "ExecutorGranted";
     case EventKind::kExecutorReleased: return "ExecutorReleased";
+    case EventKind::kExecutorLost: return "ExecutorLost";
+    case EventKind::kFetchFailed: return "FetchFailed";
+    case EventKind::kStageResubmitted: return "StageResubmitted";
+    case EventKind::kDiskDegraded: return "DiskDegraded";
   }
   return "?";
 }
@@ -142,6 +146,9 @@ std::string EventLog::to_chrome_trace() const {
         break;
       case EventKind::kExecutorGranted:
       case EventKind::kExecutorReleased:
+      case EventKind::kExecutorLost:
+      case EventKind::kStageResubmitted:
+      case EventKind::kDiskDegraded:
         emit(strfmt::format(
             R"({{"name":"{}","ph":"i","ts":{:.1f},"pid":{},"tid":0,"s":"p"}})",
             std::string(event_kind_name(e.kind)), us, e.node));
@@ -149,7 +156,8 @@ std::string EventLog::to_chrome_trace() const {
       case EventKind::kJobSubmitted:
       case EventKind::kJobRejected:
       case EventKind::kJobDequeued:
-        break;  // admission events carry no duration; JSON-lines has them
+      case EventKind::kFetchFailed:
+        break;  // admission/fetch events carry no duration; JSON-lines has them
     }
   }
   out << "]\n";

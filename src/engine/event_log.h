@@ -32,6 +32,11 @@ enum class EventKind {
   kJobDequeued,        // left the admission queue and started running
   kExecutorGranted,    // dynamic allocation activated this executor
   kExecutorReleased,   // dynamic allocation idle-timed-out this executor
+  // saex::fault (failure injection and recovery) events.
+  kExecutorLost,       // executor killed; node = victim
+  kFetchFailed,        // shuffle fetch failed; node = source, value = shuffle
+  kStageResubmitted,   // lineage recovery; value = recomputed partitions
+  kDiskDegraded,       // slow-node injection; value = factor in percent
 };
 
 std::string_view event_kind_name(EventKind kind) noexcept;

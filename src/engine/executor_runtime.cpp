@@ -38,6 +38,12 @@ struct ExecutorRuntime::TaskRun {
     SegmentKind kind;
     int src_node;
     Bytes bytes;
+    // >= 0 for shuffle fetches: eligible for seeded fetch drops.
+    int shuffle_id = -1;
+    // Data held by the source *executor process* (shuffle blocks, cached
+    // partitions) — gone when that executor dies. DFS blocks live in the
+    // datanode and survive executor kills.
+    bool from_executor = false;
   };
   enum class Waiting { kNone, kRead, kWrite, kWriteDrain };
 
@@ -70,6 +76,7 @@ struct ExecutorRuntime::TaskRun {
   // scans keep one outstanding request, i.e. plain readahead).
   int fetch_cap = 1;
   int reads_outstanding = 0;
+  int compute_outstanding = 0;  // CPU grants whose callback has not fired
   std::deque<Bytes> ready_chunks;
 
   // Write channel.
@@ -96,6 +103,11 @@ struct ExecutorRuntime::TaskRun {
   Bytes fail_after = 0;
   Bytes consumed = 0;
   bool aborting = false;
+  // How the abort will be reported (cancel/injected failures keep the
+  // default; executor kills and fetch failures override it).
+  TaskFailure fail_kind = TaskFailure::kInjected;
+  int fail_fetch_src = -1;
+  int fail_fetch_sid = -1;
 
   sim::Simulation& sim() { return *exec->env_.sim; }
   double now() { return exec->env_.sim->now(); }
@@ -138,11 +150,46 @@ struct ExecutorRuntime::TaskRun {
   }
 
   void issue_reads() {
-    while (reads_outstanding < fetch_cap && reads_remaining()) issue_one_read();
+    while (!aborting && reads_outstanding < fetch_cap && reads_remaining()) {
+      issue_one_read();
+    }
   }
 
   void issue_one_read() {
     const Segment& seg = segments[seg_idx];
+
+    // Fault checks before any bytes move: a dead source executor cannot
+    // serve its shuffle/cache data, and a transient seeded drop kills the
+    // fetch too. Either way the attempt aborts and reports kFetchFailed so
+    // the driver can tell data loss (lineage recovery) from a blip (retry).
+    if (seg.from_executor && exec->env_.fault != nullptr && !aborting) {
+      fault::FaultState& fs = *exec->env_.fault;
+      const bool source_dead = !fs.node_alive(seg.src_node);
+      // Transient drops are per fetched block (one roll per segment, on its
+      // first chunk), mirroring Spark's per-block fetch failures — rolling
+      // per chunk would doom every large fetch at any non-zero probability.
+      const bool dropped = !source_dead && seg.shuffle_id >= 0 &&
+                           seg_left == seg.bytes &&
+                           fs.drop_fetch(seg.src_node, exec->node_id_);
+      if (source_dead || dropped) {
+        exec->env_.cluster->network().record_dropped_fetch(seg.src_node,
+                                                           exec->node_id_);
+        fail_kind = TaskFailure::kFetchFailed;
+        fail_fetch_src = seg.src_node;
+        fail_fetch_sid = seg.shuffle_id;
+        aborting = true;
+        // The failure surfaces after the fetch round-trip latency, riding
+        // the read channel so the normal drain logic applies.
+        ++reads_outstanding;
+        sim().schedule_after(exec->env_.cluster->network().params().latency,
+                             [this] {
+                               --reads_outstanding;
+                               maybe_finish_abort();
+                             });
+        return;
+      }
+    }
+
     const Bytes chunk = std::min(exec->env_.io_chunk, seg_left);
     seg_left -= chunk;
     if (seg_left == 0) ++seg_idx;
@@ -203,11 +250,18 @@ struct ExecutorRuntime::TaskRun {
     }
   }
 
-  // A failing attempt stops consuming but must drain its in-flight I/O
-  // before it can be destroyed (callbacks hold pointers into this object).
+  // A failing attempt stops consuming but must drain its in-flight I/O and
+  // CPU grants before it can be destroyed (callbacks hold pointers into
+  // this object).
   void maybe_finish_abort() {
-    if (reads_outstanding == 0 && !write_in_flight) {
-      exec->finish_task(this, /*success=*/false);
+    if (reads_outstanding == 0 && compute_outstanding == 0 &&
+        !write_in_flight) {
+      TaskOutcome outcome;
+      outcome.success = false;
+      outcome.failure = fail_kind;
+      outcome.fetch_src = fail_fetch_src;
+      outcome.fetch_shuffle = fail_fetch_sid;
+      exec->finish_task(this, outcome);
     }
   }
 
@@ -230,7 +284,11 @@ struct ExecutorRuntime::TaskRun {
       issue_reads();  // keep the fetch pipeline full while computing
       const double cpu = cpu_per_byte * static_cast<double>(chunk);
       if (cpu > 0.0) {
-        exec->node().cpu().execute(cpu, [this, chunk] { on_compute_done(chunk); });
+        ++compute_outstanding;
+        exec->node().cpu().execute(cpu, [this, chunk] {
+          --compute_outstanding;
+          on_compute_done(chunk);
+        });
       } else {
         on_compute_done(chunk);
       }
@@ -374,8 +432,10 @@ struct ExecutorRuntime::TaskRun {
 
   void flush_and_finish() {
     if (sink == StageSink::kShuffleWrite && out_shuffle_id >= 0) {
-      exec->env_.shuffles->register_map_output(out_shuffle_id, exec->node_id_,
-                                               shuffle_written);
+      // First commit wins: a losing speculative copy that raced past the
+      // driver's cancellation must not double-count the partition's output.
+      exec->env_.shuffles->register_map_output(
+          out_shuffle_id, exec->node_id_, spec.partition, shuffle_written);
     }
     if (cache_out_id >= 0) {
       auto& part = exec->env_.caches->partition(cache_out_id, spec.partition);
@@ -383,7 +443,7 @@ struct ExecutorRuntime::TaskRun {
       part.mem_bytes = cache_mem_written;
       part.spilled_bytes = cache_spilled;
     }
-    exec->finish_task(this, /*success=*/true);
+    exec->finish_task(this, TaskOutcome{});
   }
 };
 
@@ -448,6 +508,26 @@ void ExecutorRuntime::cancel_task(int stage_uid, int partition) {
   }
 }
 
+void ExecutorRuntime::kill() {
+  if (!alive_) return;
+  alive_ = false;
+  // Snapshot first: a drained abort removes the run from active_.
+  std::vector<TaskRun*> runs;
+  runs.reserve(active_.size());
+  for (auto& run : active_) runs.push_back(run.get());
+  for (TaskRun* run : runs) {
+    if (run->aborting) {
+      // Already dying (cancelled loser / injected failure); keep its kind.
+      continue;
+    }
+    run->aborting = true;
+    run->fail_kind = TaskFailure::kExecutorLost;
+    if (run->waiting != TaskRun::Waiting::kNone) {
+      run->maybe_finish_abort();
+    }
+  }
+}
+
 Bytes ExecutorRuntime::reserve_storage(Bytes bytes) noexcept {
   const Bytes budget = env_.storage_budget;
   const Bytes granted =
@@ -459,6 +539,17 @@ Bytes ExecutorRuntime::reserve_storage(Bytes bytes) noexcept {
 
 void ExecutorRuntime::launch(const TaskSpec& spec, const Stage& stage,
                              TaskDone on_done) {
+  if (!alive_) {
+    // LaunchTask message delivered to a dead executor (the kill raced the
+    // message): fail immediately, charged to no one.
+    env_.sim->schedule_after(0.0, [spec, on_done = std::move(on_done)] {
+      TaskOutcome outcome;
+      outcome.success = false;
+      outcome.failure = TaskFailure::kExecutorLost;
+      if (on_done) on_done(spec, outcome);
+    });
+    return;
+  }
   ++running_;
   if (env_.event_log != nullptr) {
     env_.event_log->record(Event{EventKind::kTaskStart, env_.sim->now(), -1,
@@ -547,7 +638,9 @@ void ExecutorRuntime::launch(const TaskSpec& spec, const Stage& stage,
             run->segments.push_back(
                 Segment{K::kLocalDisk, src, bytes - cached});
           } else {
-            run->segments.push_back(Segment{K::kRemote, src, bytes});
+            // Remote map output is served by the source executor: subject to
+            // seeded fetch drops and lost when that executor dies.
+            run->segments.push_back(Segment{K::kRemote, src, bytes, sid, true});
           }
         }
       }
@@ -563,11 +656,14 @@ void ExecutorRuntime::launch(const TaskSpec& spec, const Stage& stage,
               Segment{K::kLocalDisk, node_id_, part.spilled_bytes});
         }
       } else {
+        // Cached partitions live in the owning executor's process (block
+        // manager): lost when it dies, and there is no lineage to rebuild
+        // them here — shuffle_id stays -1 so the driver aborts the job.
         run->segments.push_back(
-            Segment{K::kNetOnly, part.node, part.mem_bytes});
+            Segment{K::kNetOnly, part.node, part.mem_bytes, -1, true});
         if (part.spilled_bytes > 0) {
           run->segments.push_back(
-              Segment{K::kRemote, part.node, part.spilled_bytes});
+              Segment{K::kRemote, part.node, part.spilled_bytes, -1, true});
         }
       }
       break;
@@ -579,13 +675,20 @@ void ExecutorRuntime::launch(const TaskSpec& spec, const Stage& stage,
   active_.push_back(std::move(run));
   // Tasks with no input at all still take a scheduling round-trip.
   if (raw->segments.empty()) {
-    env_.sim->schedule_after(0.0, [raw] { raw->flush_and_finish(); });
+    env_.sim->schedule_after(0.0, [raw] {
+      // A kill can land between launch and this callback.
+      if (raw->aborting) {
+        raw->maybe_finish_abort();
+      } else {
+        raw->flush_and_finish();
+      }
+    });
   } else {
     raw->start();
   }
 }
 
-void ExecutorRuntime::finish_task(TaskRun* run, bool success) {
+void ExecutorRuntime::finish_task(TaskRun* run, const TaskOutcome& outcome) {
   --running_;
   const double now = env_.sim->now();
   const TaskSpec spec = run->spec;
@@ -595,17 +698,17 @@ void ExecutorRuntime::finish_task(TaskRun* run, bool success) {
       [run](const std::unique_ptr<TaskRun>& p) { return p.get() == run; });
 
   if (env_.event_log != nullptr) {
-    env_.event_log->record(
-        Event{success ? EventKind::kTaskEnd : EventKind::kTaskFailed, now, -1,
-              -1, spec.partition, node_id_, spec.input_bytes, {}});
+    env_.event_log->record(Event{
+        outcome.success ? EventKind::kTaskEnd : EventKind::kTaskFailed, now, -1,
+        -1, spec.partition, node_id_, spec.input_bytes, {}});
   }
-  if (success) {
+  if (outcome.success) {
     // Failed attempts neither advance the tuning interval nor count as
     // completions; the driver re-launches them.
     io_.task_completed();
     if (policy_) policy_->on_task_complete(now);
   }
-  if (on_done) on_done(spec, success);
+  if (on_done) on_done(spec, outcome);
 }
 
 }  // namespace saex::engine

@@ -20,6 +20,7 @@
 #include "adaptive/types.h"
 #include "dfs/dfs.h"
 #include "engine/shuffle.h"
+#include "fault/fault.h"
 #include "engine/stage.h"
 #include "hw/cluster.h"
 #include "metrics/io_accounting.h"
@@ -77,16 +78,37 @@ struct EngineEnv {
   // failure probability; exercises blacklisting.
   int flaky_node = -1;
   double flaky_node_failure_prob = 0.0;
+  // Fault truth shared across the cluster (saex::fault): dead executors and
+  // seeded shuffle-fetch drops. Null disables every fault check.
+  fault::FaultState* fault = nullptr;
   // Optional application event log (owned by the SparkContext).
   EventLog* event_log = nullptr;
+};
+
+/// Why a task attempt failed; drives the driver's recovery decision.
+enum class TaskFailure {
+  kNone,          // success
+  kInjected,      // the attempt itself died (saex.sim.taskFailureProb):
+                  // charged against spark.task.maxFailures
+  kExecutorLost,  // the executor died under it: free retry elsewhere
+  kFetchFailed,   // a shuffle/cache fetch failed: the driver decides whether
+                  // the source data is gone (lineage recovery) or the drop
+                  // was transient (charged retry)
+};
+
+struct TaskOutcome {
+  bool success = true;
+  TaskFailure failure = TaskFailure::kNone;
+  int fetch_src = -1;      // kFetchFailed: node the fetch targeted
+  int fetch_shuffle = -1;  // kFetchFailed: shuffle id (-1: cached data)
 };
 
 class ExecutorRuntime final : public adaptive::PoolEffector,
                               public adaptive::Sensor {
  public:
-  /// Completion callback; `success` is false when the attempt failed
-  /// (fault injection) and the driver should retry it.
-  using TaskDone = std::function<void(const TaskSpec&, bool success)>;
+  /// Completion callback; `outcome.success` is false when the attempt
+  /// failed and the driver should decide how (whether) to retry it.
+  using TaskDone = std::function<void(const TaskSpec&, const TaskOutcome&)>;
 
   ExecutorRuntime(EngineEnv env, int node_id, int virtual_cores);
   ~ExecutorRuntime() override;
@@ -118,6 +140,13 @@ class ExecutorRuntime final : public adaptive::PoolEffector,
   /// (stage, partition) because concurrent jobs share the executor.
   void cancel_task(int stage_uid, int partition);
 
+  /// Fault injection: the executor process dies. Every running attempt
+  /// drains and reports TaskFailure::kExecutorLost; tasks launched at a dead
+  /// executor (messages in flight at kill time) fail the same way. The
+  /// executor never comes back — mark it dead in the scheduler too.
+  void kill();
+  bool alive() const noexcept { return alive_; }
+
   /// Reserves cache-storage memory; returns the granted amount (the rest
   /// must spill to disk).
   Bytes reserve_storage(Bytes bytes) noexcept;
@@ -136,7 +165,7 @@ class ExecutorRuntime final : public adaptive::PoolEffector,
  private:
   struct TaskRun;
 
-  void finish_task(TaskRun* run, bool success);
+  void finish_task(TaskRun* run, const TaskOutcome& outcome);
   hw::Node& node() noexcept { return env_.cluster->node(node_id_); }
 
   EngineEnv env_;
@@ -144,6 +173,7 @@ class ExecutorRuntime final : public adaptive::PoolEffector,
   int virtual_cores_;
   int pool_target_;
   int running_ = 0;
+  bool alive_ = true;
   Bytes storage_used_ = 0;
   std::unique_ptr<adaptive::ThreadPolicy> policy_;
   metrics::IoAccounting io_;

@@ -4,11 +4,19 @@
 
 namespace saex::engine {
 
-void ShuffleManager::register_map_output(int shuffle_id, int node, Bytes bytes) {
+bool ShuffleManager::register_map_output(int shuffle_id, int node,
+                                         int partition, Bytes bytes) {
   assert(node >= 0 && node < num_nodes_);
+  auto& commits = commits_[shuffle_id];
+  if (const auto it = commits.find(partition); it != commits.end()) {
+    ++duplicate_commits_;
+    return false;
+  }
+  commits.emplace(partition, std::make_pair(node, bytes));
   auto& per_node = outputs_[shuffle_id];
   per_node.resize(static_cast<size_t>(num_nodes_), 0);
   per_node[static_cast<size_t>(node)] += bytes;
+  return true;
 }
 
 std::vector<Bytes> ShuffleManager::fetch_plan(int shuffle_id, int partition,
@@ -24,6 +32,32 @@ std::vector<Bytes> ShuffleManager::fetch_plan(int shuffle_id, int partition,
     plan[static_cast<size_t>(n)] = base + (partition < rem ? 1 : 0);
   }
   return plan;
+}
+
+std::map<int, std::vector<int>> ShuffleManager::on_node_lost(int node) {
+  std::map<int, std::vector<int>> lost;
+  for (auto& [sid, commits] : commits_) {
+    auto& per_node = outputs_[sid];
+    for (auto it = commits.begin(); it != commits.end();) {
+      if (it->second.first == node) {
+        per_node[static_cast<size_t>(node)] -= it->second.second;
+        lost[sid].push_back(it->first);
+        it = commits.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    assert(per_node[static_cast<size_t>(node)] == 0 &&
+           "per-node total out of sync with partition commits");
+  }
+  return lost;
+}
+
+bool ShuffleManager::partition_committed(int shuffle_id,
+                                         int partition) const noexcept {
+  const auto it = commits_.find(shuffle_id);
+  return it != commits_.end() &&
+         it->second.find(partition) != it->second.end();
 }
 
 Bytes ShuffleManager::total_output(int shuffle_id) const noexcept {

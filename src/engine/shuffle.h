@@ -4,9 +4,17 @@
 // sort-based shuffle) and register the byte count here. A reduce task for
 // partition r fetches 1/R of every map node's output: the local share is a
 // disk read, remote shares are a remote disk read + network transfer.
+//
+// Registration is per map partition with first-commit-wins semantics, as in
+// Spark's MapOutputTracker: when speculation races two copies of the same
+// map task, only the first StatusUpdate commits its output — the loser's
+// bytes are discarded, never double-counted. Losing a node loses every
+// partition committed there (on_node_lost), which is what drives
+// lineage-based resubmission of the producing stage.
 #pragma once
 
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -17,23 +25,38 @@ class ShuffleManager {
  public:
   explicit ShuffleManager(int num_nodes) : num_nodes_(num_nodes) {}
 
-  /// Accumulates shuffle bytes written by map tasks on `node`.
-  void register_map_output(int shuffle_id, int node, Bytes bytes);
+  /// Commits map `partition`'s output bytes on `node`. Returns false (and
+  /// changes nothing) if that partition already has a committed copy — a
+  /// losing speculative duplicate.
+  bool register_map_output(int shuffle_id, int node, int partition,
+                           Bytes bytes);
 
   /// Bytes reduce partition `partition` (of `num_partitions`) must fetch
   /// from each node. Deterministic: remainder bytes go to low partitions.
   std::vector<Bytes> fetch_plan(int shuffle_id, int partition,
                                 int num_partitions) const;
 
+  /// Drops every partition committed on `node` (executor loss). Returns
+  /// shuffle id -> the map partitions that must be recomputed, for the
+  /// driver's lineage-based stage resubmission.
+  std::map<int, std::vector<int>> on_node_lost(int node);
+
   Bytes total_output(int shuffle_id) const noexcept;
   Bytes node_output(int shuffle_id, int node) const noexcept;
   bool has_shuffle(int shuffle_id) const noexcept {
     return outputs_.find(shuffle_id) != outputs_.end();
   }
+  bool partition_committed(int shuffle_id, int partition) const noexcept;
+  /// Commits rejected because the partition was already committed (always 0
+  /// unless speculation raced two copies past the driver's cancellation).
+  int64_t duplicate_commits() const noexcept { return duplicate_commits_; }
 
  private:
   int num_nodes_;
   std::map<int, std::vector<Bytes>> outputs_;  // shuffle id -> per-node bytes
+  // shuffle id -> partition -> (node, bytes) of the committed copy.
+  std::map<int, std::map<int, std::pair<int, Bytes>>> commits_;
+  int64_t duplicate_commits_ = 0;
 };
 
 }  // namespace saex::engine

@@ -63,11 +63,68 @@ int TaskScheduler::pending_task_count() const noexcept {
 void TaskScheduler::set_executor_active(int node_id, bool active) {
   for (ExecState& es : execs_) {
     if (es.exec->node_id() == node_id) {
+      if (es.dead) return;  // dead executors never come back
       es.active = active;
       break;
     }
   }
   if (active) try_assign();
+}
+
+void TaskScheduler::kill_executor(int node_id) {
+  for (ExecState& es : execs_) {
+    if (es.exec->node_id() == node_id) {
+      es.dead = true;
+      es.active = false;
+      break;
+    }
+  }
+}
+
+bool TaskScheduler::executor_dead(int node_id) const {
+  for (const ExecState& es : execs_) {
+    if (es.exec->node_id() == node_id) return es.dead;
+  }
+  return false;
+}
+
+int TaskScheduler::dead_executor_count() const noexcept {
+  int n = 0;
+  for (const ExecState& es : execs_) n += es.dead ? 1 : 0;
+  return n;
+}
+
+void TaskScheduler::hold_set(uint64_t id, bool held) {
+  TaskSet* set = find_set(id);
+  if (set == nullptr) return;
+  set->held = held;
+  if (!held) try_assign();
+}
+
+void TaskScheduler::abort_set(uint64_t id) {
+  TaskSet* set = find_set(id);
+  if (set == nullptr) return;
+  set->failed = true;
+  set->remaining = 0;
+  for (TaskState& st : set->state) st.done = true;
+  // In-flight copies still drain; on_done fires once running hits zero.
+  maybe_finish_set(*set);
+}
+
+std::vector<uint64_t> TaskScheduler::hold_sets_reading(int shuffle_id) {
+  std::vector<uint64_t> held;
+  for (auto& [id, set] : sets_) {
+    if (set.failed) continue;  // already-held sets are still recorded: the
+                               // caller tracks holds per recovering shuffle
+    for (const int sid : set.stage.in_shuffle_ids) {
+      if (sid == shuffle_id) {
+        set.held = true;
+        held.push_back(id);
+        break;
+      }
+    }
+  }
+  return held;
 }
 
 bool TaskScheduler::executor_active(int node_id) const {
@@ -99,6 +156,9 @@ uint64_t TaskScheduler::submit_stage(const Stage& stage,
   set.stage = stage;
   set.tasks = std::move(tasks);
   set.state.assign(set.tasks.size(), TaskState{});
+  for (size_t i = 0; i < set.tasks.size(); ++i) {
+    set.task_index[set.tasks[i].partition] = i;
+  }
   set.remaining = set.tasks.size();
   set.result.num_tasks = static_cast<int>(set.tasks.size());
   set.result.submit_time = sim_.now();
@@ -125,12 +185,13 @@ uint64_t TaskScheduler::submit_stage(const Stage& stage,
 
 void TaskScheduler::run_stage(const Stage& stage, std::vector<TaskSpec> tasks,
                               std::function<void()> on_done) {
-  assert(sets_.empty() && "run_stage requires an idle scheduler");
   // Refresh advertised sizes: stage-start policies resized synchronously
-  // before the stage was submitted.
+  // before the stage was submitted. With recovery sets in flight (lineage
+  // resubmission after an executor loss) the assigned counts are live and
+  // must not be zeroed.
   for (ExecState& es : execs_) {
     es.advertised = es.exec->pool_size();
-    es.assigned = 0;
+    if (sets_.empty()) es.assigned = 0;
   }
   completed_durations_.clear();
   stage_failed_ = false;
@@ -290,7 +351,7 @@ void TaskScheduler::try_assign() {
       // recomputed after every dispatch since running counts moved.
       for (const uint64_t set_id : offer_order()) {
         TaskSet& set = sets_.at(set_id);
-        if (set.exec_blacklisted[e]) continue;
+        if (set.held || set.exec_blacklisted[e]) continue;
         const auto task = pick_task_for(set, e);
         if (!task) continue;
         dispatch(set, *task, e, set.state[*task].running_copies > 0);
@@ -344,29 +405,32 @@ void TaskScheduler::dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
     assert(s != nullptr && "task set vanished with a launch in flight");
     execs_[exec_idx].exec->launch(
         spec, s->stage,
-        [this, set_id, exec_idx](const TaskSpec& sp, bool success) {
+        [this, set_id, exec_idx](const TaskSpec& sp,
+                                 const TaskOutcome& outcome) {
           // StatusUpdate message: executor → driver.
           sim_.schedule_after(options_.message_latency,
-                              [this, set_id, sp, exec_idx, success] {
+                              [this, set_id, sp, exec_idx, outcome] {
                                 on_task_finished(set_id, sp, exec_idx,
-                                                 success);
+                                                 outcome);
                               });
         });
   });
 }
 
 void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
-                                     size_t exec_idx, bool success) {
+                                     size_t exec_idx,
+                                     const TaskOutcome& outcome) {
   ExecState& es = execs_[exec_idx];
   --es.assigned;
   ++tasks_finished_;
+  if (task_finish_hook_) task_finish_hook_(tasks_finished_);
 
   TaskSet* set_ptr = find_set(set_id);
   assert(set_ptr != nullptr && "status update for a vanished task set");
   TaskSet& set = *set_ptr;
   --set.running;
 
-  TaskState& st = set.state[static_cast<size_t>(spec.partition)];
+  TaskState& st = set.state[set.task_index.at(spec.partition)];
   --st.running_copies;
   if (const auto it = std::find(st.copy_execs.begin(), st.copy_execs.end(),
                                 exec_idx);
@@ -382,7 +446,7 @@ void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
     return;
   }
 
-  if (success) {
+  if (outcome.success) {
     st.done = true;
     const double duration = sim_.now() - st.launch_time;
     set.result.durations.push_back(duration);
@@ -393,6 +457,42 @@ void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
     for (const size_t e : st.copy_execs) {
       execs_[e].exec->cancel_task(spec.stage_uid, spec.partition);
     }
+    maybe_finish_set(set);
+    try_assign();
+    return;
+  }
+
+  // Decide whether the failure charges against spark.task.maxFailures.
+  // Executor loss is never the task's fault; fetch failures are the
+  // driver's call (it knows whether the source data is gone).
+  bool charged = true;
+  if (outcome.failure == TaskFailure::kExecutorLost) {
+    ++executor_lost_failures_;
+    --st.attempts;
+    charged = false;
+  } else if (outcome.failure == TaskFailure::kFetchFailed) {
+    ++fetch_failures_;
+    if (options_.event_log != nullptr) {
+      options_.event_log->record(Event{EventKind::kFetchFailed, sim_.now(),
+                                       set.job_id, set.stage.ordinal,
+                                       spec.partition, outcome.fetch_src,
+                                       outcome.fetch_shuffle, {}});
+    }
+    FetchFailureAction action = FetchFailureAction::kCharge;
+    if (fetch_hook_) {
+      action = fetch_hook_(set_id, set.stage, outcome.fetch_shuffle,
+                           outcome.fetch_src, spec);
+    }
+    if (action != FetchFailureAction::kCharge) {
+      --st.attempts;
+      charged = false;
+      if (action == FetchFailureAction::kHold) set.held = true;
+    }
+  }
+
+  if (!charged) {
+    // Free retry: the task is pending again and try_assign re-launches it
+    // (once the set is unheld, for kHold).
   } else if (options_.blacklist_enabled &&
              ++set.exec_failures[exec_idx] >=
                  options_.max_failed_tasks_per_executor &&

@@ -36,6 +36,13 @@ namespace saex::engine {
 /// Cross-job slot arbitration (spark.scheduler.mode / saex.scheduler.mode).
 enum class SchedulingMode { kFifo, kFair };
 
+/// What the driver decides a fetch failure means (Spark's DAGScheduler
+/// handling of FetchFailed): charge it like an ordinary failure (transient
+/// drop, or unrecoverable cached data), retry for free, or retry for free
+/// *after* parking the whole set while lineage recovery rebuilds the lost
+/// map outputs.
+enum class FetchFailureAction { kCharge, kRetry, kHold };
+
 /// A FAIR scheduler pool (Spark's fairscheduler.xml entry): a task set in a
 /// pool below its minShare outranks every satisfied pool; among satisfied
 /// pools, the one with the lowest runningTasks/weight ratio goes first.
@@ -87,6 +94,17 @@ class TaskScheduler {
   /// policy for the stage it is about to work on.
   using ExecutorEngagedHook = std::function<void(int node_id, const Stage&)>;
 
+  /// Consulted on every TaskFailure::kFetchFailed status update; the
+  /// SparkContext (which knows shuffle lineage) decides the action. No hook
+  /// installed means every fetch failure is charged.
+  using FetchFailureHook = std::function<FetchFailureAction(
+      uint64_t set_id, const Stage& stage, int shuffle_id, int src_node,
+      const TaskSpec& spec)>;
+
+  /// Fired after every task status update with the cumulative finished-task
+  /// count — drives count-triggered fault injection (FaultPlan).
+  using TaskFinishHook = std::function<void(int64_t finished)>;
+
   TaskScheduler(sim::Simulation& sim, std::vector<ExecutorRuntime*> executors,
                 Options options);
   // Separate overload: Options' default member initializers are not usable
@@ -125,6 +143,42 @@ class TaskScheduler {
 
   void set_executor_engaged_hook(ExecutorEngagedHook hook) {
     engaged_hook_ = std::move(hook);
+  }
+  void set_fetch_failure_hook(FetchFailureHook hook) {
+    fetch_hook_ = std::move(hook);
+  }
+  void set_task_finish_hook(TaskFinishHook hook) {
+    task_finish_hook_ = std::move(hook);
+  }
+
+  // --- fault tolerance -----------------------------------------------------
+
+  /// Permanently removes an executor from scheduling (fault injection).
+  /// Unlike deactivation this is irreversible: set_executor_active(id, true)
+  /// on a dead executor is ignored. Running tasks are not touched here —
+  /// killing the ExecutorRuntime makes them drain as kExecutorLost.
+  void kill_executor(int node_id);
+  bool executor_dead(int node_id) const;
+  int dead_executor_count() const noexcept;
+
+  /// Parks / unparks a task set: a held set keeps its running copies but
+  /// receives no new offers — used while lineage recovery rebuilds the
+  /// shuffle outputs its tasks fetch.
+  void hold_set(uint64_t id, bool held);
+  /// Aborts a task set: pending tasks are dropped, in-flight copies drain,
+  /// then on_done fires with result.failed = true.
+  void abort_set(uint64_t id);
+  /// Holds every running set whose stage reads `shuffle_id` and returns their
+  /// ids. Called when that shuffle loses map outputs: launching further tasks
+  /// would build fetch plans from the surviving partial outputs and silently
+  /// read incomplete data (Spark's MetadataFetchFailed case).
+  std::vector<uint64_t> hold_sets_reading(int shuffle_id);
+
+  /// Fetch failures observed (before the driver's charge/retry/hold call).
+  int64_t fetch_failures() const noexcept { return fetch_failures_; }
+  /// Attempts that died with their executor (free retries).
+  int64_t executor_lost_failures() const noexcept {
+    return executor_lost_failures_;
   }
 
   // --- invariant counters (tests) -----------------------------------------
@@ -173,6 +227,7 @@ class TaskScheduler {
     int advertised = 0;
     int assigned = 0;
     bool active = true;
+    bool dead = false;
   };
 
   struct TaskState {
@@ -190,9 +245,13 @@ class TaskScheduler {
     Stage stage;  // owned copy: callers need not keep theirs alive
     std::vector<TaskSpec> tasks;
     std::vector<TaskState> state;
+    // partition -> index into tasks/state. Recovery sets carry a partition
+    // *subset*, so partition numbers cannot index state directly.
+    std::map<int, size_t> task_index;
     size_t remaining = 0;
     int running = 0;  // dispatched copies (incl. in-flight launch messages)
     bool failed = false;
+    bool held = false;  // parked during lineage recovery
     bool locality_timer_armed = false;
     TaskSetResult result;
     TaskSetDone on_done;
@@ -209,7 +268,7 @@ class TaskScheduler {
   void dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
                 bool speculative);
   void on_task_finished(uint64_t set_id, const TaskSpec& spec, size_t exec_idx,
-                        bool success);
+                        const TaskOutcome& outcome);
   void maybe_finish_set(TaskSet& set);
   void schedule_speculation_check();
   const PoolSpec& pool_spec(const std::string& name) const noexcept;
@@ -221,6 +280,8 @@ class TaskScheduler {
   SchedulingMode mode_ = SchedulingMode::kFifo;
   std::vector<PoolSpec> pool_specs_{PoolSpec{}};
   ExecutorEngagedHook engaged_hook_;
+  FetchFailureHook fetch_hook_;
+  TaskFinishHook task_finish_hook_;
 
   // In-flight task sets, keyed by id (ids ascend in submission order).
   std::map<uint64_t, TaskSet> sets_;
@@ -235,6 +296,8 @@ class TaskScheduler {
   int64_t dispatch_overcommits_ = 0;
   int64_t tasks_dispatched_ = 0;
   int64_t tasks_finished_ = 0;
+  int64_t fetch_failures_ = 0;
+  int64_t executor_lost_failures_ = 0;
 };
 
 }  // namespace saex::engine

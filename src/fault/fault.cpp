@@ -1,0 +1,76 @@
+#include "fault/fault.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace saex::fault {
+
+FaultSpec FaultSpec::from_config(const conf::Config& config) {
+  FaultSpec s;
+  s.enabled = config.get_bool("saex.fault.enabled");
+  if (!s.enabled) return s;
+  s.seed = static_cast<uint64_t>(config.get_int("saex.fault.seed"));
+  s.kill_node = static_cast<int>(config.get_int("saex.fault.killNode"));
+  s.kill_time = config.get_duration_seconds("saex.fault.killTime");
+  s.kill_after_tasks = config.get_int("saex.fault.killAfterTasks");
+  s.slow_node = static_cast<int>(config.get_int("saex.fault.slowNode"));
+  s.slow_factor = config.get_double("saex.fault.slowFactor");
+  s.slow_time = config.get_duration_seconds("saex.fault.slowTime");
+  s.fetch_fail_prob = config.get_double("saex.fault.fetchFailProb");
+  return s;
+}
+
+FaultState::FaultState(int num_nodes, uint64_t seed, double fetch_fail_prob)
+    : alive_(static_cast<size_t>(num_nodes), 1),
+      fetch_fail_prob_(fetch_fail_prob),
+      rng_(Rng(seed).fork("fetch-drops")) {}
+
+void FaultState::mark_dead(int node) {
+  assert(node >= 0 && node < static_cast<int>(alive_.size()));
+  if (!alive_[static_cast<size_t>(node)]) return;
+  alive_[static_cast<size_t>(node)] = 0;
+  ++dead_;
+}
+
+bool FaultState::drop_fetch(int src_node, int dst_node) {
+  (void)src_node;
+  (void)dst_node;
+  if (fetch_fail_prob_ <= 0.0) return false;
+  if (!rng_.chance(fetch_fail_prob_)) return false;
+  ++fetch_drops_;
+  return true;
+}
+
+FaultPlan::FaultPlan(FaultSpec spec, sim::Simulation& sim, Hooks hooks)
+    : spec_(spec), sim_(sim), hooks_(std::move(hooks)) {}
+
+void FaultPlan::arm() {
+  if (!spec_.enabled) return;
+  if (spec_.slow_node >= 0 && hooks_.degrade_disk) {
+    const int node = spec_.slow_node;
+    const double factor = spec_.slow_factor;
+    sim_.schedule_at(std::max(spec_.slow_time, sim_.now()),
+                     [this, node, factor] { hooks_.degrade_disk(node, factor); });
+  }
+  if (spec_.kill_node >= 0 && spec_.kill_time >= 0.0) {
+    sim_.schedule_at(std::max(spec_.kill_time, sim_.now()),
+                     [this] { fire_kill(); });
+  }
+}
+
+void FaultPlan::notify_task_finished(int64_t total_finished) {
+  if (!spec_.enabled || kill_fired_) return;
+  if (spec_.kill_node < 0 || spec_.kill_after_tasks < 0) return;
+  if (total_finished >= spec_.kill_after_tasks) fire_kill();
+}
+
+void FaultPlan::fire_kill() {
+  if (kill_fired_) return;  // time and count triggers may both be armed
+  kill_fired_ = true;
+  SAEX_INFO("fault plan: killing executor {} at {:.3f}s", spec_.kill_node,
+            sim_.now());
+  if (hooks_.kill_executor) hooks_.kill_executor(spec_.kill_node);
+}
+
+}  // namespace saex::fault

@@ -1,0 +1,104 @@
+// saex::fault — seeded fault injection for the simulated cluster.
+//
+// Three ingredients, all configured through the `saex.fault.*` keys (see
+// docs/FAULT_MODEL.md) and all riding the deterministic simulation clock, so
+// a faulty run replays bitwise-identically from its seed:
+//
+//  * FaultSpec   — the parsed plan: which executor dies (at a wall-clock
+//    time or after N finished task attempts), which node's disk degrades
+//    into a straggler, and the per-fetch drop probability.
+//  * FaultState  — live fault truth shared with the executors: which nodes
+//    are dead (their shuffle data is gone, fetches from them fail) and the
+//    seeded RNG deciding transient shuffle-fetch drops.
+//  * FaultPlan   — arms the triggers. Time triggers are simulation events;
+//    the task-count trigger is fed by the scheduler's task-finish hook. The
+//    plan itself only decides *when*; *what happens* is delegated to hooks
+//    (SparkContext::kill_executor, Node::set_disk_speed_factor) so this
+//    module depends on nothing above the simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "conf/config.h"
+#include "sim/simulation.h"
+
+namespace saex::fault {
+
+struct FaultSpec {
+  bool enabled = false;
+  uint64_t seed = 0;           // XORed into the cluster seed
+  int kill_node = -1;          // executor to kill (-1: no kill)
+  double kill_time = -1.0;     // time trigger (<0: disabled)
+  int64_t kill_after_tasks = -1;  // task-count trigger (<0: disabled)
+  int slow_node = -1;          // node whose disk degrades (-1: none)
+  double slow_factor = 0.3;    // new disk speed factor
+  double slow_time = 0.0;      // when the degradation hits
+  double fetch_fail_prob = 0.0;  // transient shuffle-fetch drop probability
+
+  /// Reads every `saex.fault.*` key; inert (enabled=false) by default.
+  static FaultSpec from_config(const conf::Config& config);
+};
+
+/// Runtime fault truth, shared by reference with every ExecutorRuntime
+/// (EngineEnv::fault). Exists even when injection is disabled — with no dead
+/// nodes and drop probability 0 it is entirely passive.
+class FaultState {
+ public:
+  FaultState(int num_nodes, uint64_t seed, double fetch_fail_prob);
+
+  bool node_alive(int node) const noexcept {
+    return node < 0 || node >= static_cast<int>(alive_.size()) ||
+           alive_[static_cast<size_t>(node)];
+  }
+  void mark_dead(int node);
+  int dead_executors() const noexcept { return dead_; }
+
+  /// Seeded Bernoulli draw: should this remote shuffle fetch be dropped?
+  /// Consumes randomness only when the probability is non-zero, so enabling
+  /// an unrelated injection does not shift other streams.
+  bool drop_fetch(int src_node, int dst_node);
+  int64_t fetch_drops() const noexcept { return fetch_drops_; }
+
+ private:
+  std::vector<char> alive_;
+  int dead_ = 0;
+  double fetch_fail_prob_;
+  Rng rng_;
+  int64_t fetch_drops_ = 0;
+};
+
+/// Arms the spec's triggers against the simulation clock.
+class FaultPlan {
+ public:
+  struct Hooks {
+    /// Kill an executor (SparkContext::kill_executor): fail its running
+    /// attempts, stop offers, drop its shuffle outputs, start recovery.
+    std::function<void(int node)> kill_executor;
+    /// Degrade a node's disk (Node::set_disk_speed_factor + event log).
+    std::function<void(int node, double factor)> degrade_disk;
+  };
+
+  FaultPlan(FaultSpec spec, sim::Simulation& sim, Hooks hooks);
+
+  /// Schedules the time triggers. Call once, before the first job.
+  void arm();
+
+  /// Task-count trigger feed (TaskScheduler's task-finish hook).
+  void notify_task_finished(int64_t total_finished);
+
+  bool kill_fired() const noexcept { return kill_fired_; }
+  const FaultSpec& spec() const noexcept { return spec_; }
+
+ private:
+  void fire_kill();
+
+  FaultSpec spec_;
+  sim::Simulation& sim_;
+  Hooks hooks_;
+  bool kill_fired_ = false;
+};
+
+}  // namespace saex::fault

@@ -43,6 +43,13 @@ Disk::Disk(sim::Simulation& sim, DiskParams params, std::string name,
       name_(std::move(name)),
       speed_factor_(speed_factor) {}
 
+void Disk::set_speed_factor(double factor) {
+  assert(factor > 0.0);
+  advance_and_reschedule();  // settle in-flight work at the old rate
+  speed_factor_ = factor;
+  advance_and_reschedule();  // recompute the next completion at the new rate
+}
+
 double Disk::capacity_eff(double kd) const noexcept {
   if (kd <= 0.0) return 0.0;
   if (kd < 1.0) kd = 1.0;  // a lone (even write-weighted) stream gets base bw

@@ -76,6 +76,12 @@ class Disk {
 
   int active_transfers() const noexcept { return static_cast<int>(transfers_.size()); }
 
+  /// Changes the bandwidth scale at runtime (fault injection: a degraded
+  /// device turns the node into a straggler). In-flight transfers are
+  /// settled at the old rate up to now, then continue at the new one.
+  void set_speed_factor(double factor);
+  double speed_factor() const noexcept { return speed_factor_; }
+
   /// Device capacity (bytes of read-equivalent work per second) at
   /// concurrency k; exposed for tests and calibration tools.
   double capacity_at(int k) const noexcept { return capacity_eff(static_cast<double>(k)); }

@@ -72,6 +72,15 @@ class Network {
   Bytes bytes_sent(NodeId n) const noexcept { return sent_[static_cast<size_t>(n)]; }
   Bytes total_bytes() const noexcept { return total_bytes_; }
 
+  /// Fault-injection accounting: a shuffle fetch that was dropped before any
+  /// bytes moved (saex.fault.fetchFailProb, or the source executor died).
+  void record_dropped_fetch(NodeId src, NodeId dst) noexcept {
+    (void)src;
+    (void)dst;
+    ++dropped_fetches_;
+  }
+  int64_t dropped_fetches() const noexcept { return dropped_fetches_; }
+
   /// Effective downlink capacity with `senders` distinct sources holding
   /// `open_requests` concurrent requests (for tests).
   double down_capacity_eff(int senders, int open_requests) const noexcept;
@@ -99,6 +108,7 @@ class Network {
   std::vector<std::vector<int>> open_;
   std::vector<Bytes> sent_;
   Bytes total_bytes_ = 0;
+  int64_t dropped_fetches_ = 0;
   double last_advance_ = 0.0;
   sim::EventId pending_completion_ = sim::kInvalidEvent;
 };

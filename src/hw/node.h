@@ -49,6 +49,13 @@ class Node {
 
   double disk_speed_factor() const noexcept { return disk_speed_factor_; }
 
+  /// Runtime degradation hook (fault injection): rescales the disk's
+  /// bandwidth, turning this node into a straggler mid-run.
+  void set_disk_speed_factor(double factor) {
+    disk_speed_factor_ = factor;
+    disk_.set_speed_factor(factor);
+  }
+
  private:
   int id_;
   std::string hostname_;

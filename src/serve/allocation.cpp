@@ -122,9 +122,10 @@ void ExecutorAllocationManager::tick() {
 }
 
 void ExecutorAllocationManager::grant(int count) {
-  // Lowest inactive node first (deterministic).
+  // Lowest inactive node first (deterministic). Dead executors (fault
+  // injection) are gone for good and must never be re-granted.
   for (int n = 0; n < num_executors_ && count > 0; ++n) {
-    if (scheduler_.executor_active(n)) continue;
+    if (scheduler_.executor_dead(n) || scheduler_.executor_active(n)) continue;
     scheduler_.set_executor_active(n, true);
     idle_since_[static_cast<size_t>(n)] = -1.0;
     ++granted_total_;

@@ -258,6 +258,18 @@ ServeReport JobServer::drain() {
   out.submitted = static_cast<int>(records_.size());
   out.executors_granted = allocation_->granted_total();
   out.executors_released = allocation_->released_total();
+  out.executors_lost = ctx_->scheduler().dead_executor_count();
+
+  // Fault-recovery rollup (saex::fault): how perturbed the run was.
+  engine::TaskScheduler& sched = ctx_->scheduler();
+  metrics_.gauge("serve/fault/dead_executors")
+      .set(static_cast<double>(sched.dead_executor_count()));
+  metrics_.gauge("serve/fault/fetch_failures")
+      .set(static_cast<double>(sched.fetch_failures()));
+  metrics_.gauge("serve/fault/executor_lost_tasks")
+      .set(static_cast<double>(sched.executor_lost_failures()));
+  metrics_.gauge("serve/fault/speculative_launches")
+      .set(static_cast<double>(sched.speculative_launches()));
 
   double first_submit = 0.0, last_finish = 0.0;
   std::vector<double> all_waits;
@@ -346,6 +358,9 @@ std::string ServeReport::render() const {
   if (executors_granted + executors_released > 0) {
     out << strfmt::format("  dynalloc: +{} / -{} executors", executors_granted,
                           executors_released);
+  }
+  if (executors_lost > 0) {
+    out << strfmt::format("  faults: {} executor(s) lost", executors_lost);
   }
   out << "\n\n";
 

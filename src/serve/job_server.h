@@ -111,6 +111,7 @@ struct ServeReport {
   int rejected_client_quota = 0;
   int executors_granted = 0;
   int executors_released = 0;
+  int executors_lost = 0;  // fault injection: executors dead at drain time
 
   double total_time = 0.0;      // first submission → last finish
   double makespan_sum = 0.0;    // Σ per-job makespans (aggregate latency)

@@ -14,9 +14,9 @@ namespace {
 
 TEST(ShuffleManager, FetchPlanConservesBytes) {
   ShuffleManager sm(4);
-  sm.register_map_output(0, 0, 1000);
-  sm.register_map_output(0, 1, 777);
-  sm.register_map_output(0, 2, 1);
+  sm.register_map_output(0, 0, 0, 1000);
+  sm.register_map_output(0, 1, 1, 777);
+  sm.register_map_output(0, 2, 2, 1);
   const int R = 7;
   std::vector<Bytes> totals(4, 0);
   for (int r = 0; r < R; ++r) {
@@ -32,8 +32,8 @@ TEST(ShuffleManager, FetchPlanConservesBytes) {
 
 TEST(ShuffleManager, AccumulatesMultipleMapTasks) {
   ShuffleManager sm(2);
-  sm.register_map_output(3, 0, 100);
-  sm.register_map_output(3, 0, 150);
+  sm.register_map_output(3, 0, 0, 100);
+  sm.register_map_output(3, 0, 1, 150);
   EXPECT_EQ(sm.node_output(3, 0), 250);
   EXPECT_TRUE(sm.has_shuffle(3));
   EXPECT_FALSE(sm.has_shuffle(4));
@@ -95,7 +95,7 @@ TEST(ExecutorRuntime, RunsDfsReadTaskAndAccountsIo) {
   spec.cpu_seconds = 1.0;
 
   bool done = false;
-  rig.exec(0).launch(spec, stage, [&](const TaskSpec&, bool) { done = true; });
+  rig.exec(0).launch(spec, stage, [&](const TaskSpec&, const TaskOutcome&) { done = true; });
   EXPECT_EQ(rig.exec(0).running(), 1);
   rig.cluster.sim().run();
   EXPECT_TRUE(done);
@@ -127,8 +127,8 @@ TEST(ExecutorRuntime, ShuffleWriteRegistersMapOutput) {
 
 TEST(ExecutorRuntime, ShuffleFetchReadsLocalAndRemote) {
   Rig rig;
-  rig.shuffles.register_map_output(0, 0, mib(40));
-  rig.shuffles.register_map_output(0, 1, mib(40));
+  rig.shuffles.register_map_output(0, 0, 0, mib(40));
+  rig.shuffles.register_map_output(0, 1, 1, mib(40));
 
   Stage stage;
   stage.source = StageSource::kShuffle;
@@ -141,7 +141,7 @@ TEST(ExecutorRuntime, ShuffleFetchReadsLocalAndRemote) {
   spec.input_bytes = mib(80);
 
   bool done = false;
-  rig.exec(0).launch(spec, stage, [&](const TaskSpec&, bool) { done = true; });
+  rig.exec(0).launch(spec, stage, [&](const TaskSpec&, const TaskOutcome&) { done = true; });
   rig.cluster.sim().run();
   EXPECT_TRUE(done);
   // All but the page-cached slice of the local half count as reads; the
@@ -154,7 +154,7 @@ TEST(ExecutorRuntime, ShuffleFetchReadsLocalAndRemote) {
 
 TEST(ExecutorRuntime, ReduceSpillAddsDiskTraffic) {
   Rig rig;
-  rig.shuffles.register_map_output(0, 0, mib(64));
+  rig.shuffles.register_map_output(0, 0, 0, mib(64));
 
   Stage stage;
   stage.source = StageSource::kShuffle;
@@ -220,7 +220,7 @@ TEST(ExecutorRuntime, CachedReadFromMemoryIsFreeOfIo) {
   spec.cpu_seconds = 0.5;
 
   bool done = false;
-  rig.exec(0).launch(spec, stage, [&](const TaskSpec&, bool) { done = true; });
+  rig.exec(0).launch(spec, stage, [&](const TaskSpec&, const TaskOutcome&) { done = true; });
   rig.cluster.sim().run();
   EXPECT_TRUE(done);
   EXPECT_EQ(rig.exec(0).io_counters().bytes_read, 0);

@@ -44,6 +44,15 @@ struct Args {
   int parallelism = 0;    // 0 = nodes * 32
   double failure_prob = 0.0;
   bool speculation = false;
+
+  // Fault injection (saex.fault.*).
+  int kill_node = -1;
+  double kill_time = -1.0;
+  int64_t kill_after_tasks = -1;
+  int slow_node = -1;
+  double slow_factor = 0.3;
+  double slow_time = 0.0;
+  double fetch_fail_prob = 0.0;
   std::string eventlog_path;
   std::string trace_path;
   bool list = false;
@@ -77,6 +86,14 @@ void usage() {
       "  --parallelism P     shuffle partitions (default nodes*32)\n"
       "  --failures P        per-attempt task failure probability\n"
       "  --speculation       enable speculative execution\n"
+      "  --kill-node N       fault: kill executor N (with --kill-time or\n"
+      "                      --kill-after-tasks)\n"
+      "  --kill-time T       fault: kill trigger, simulated seconds\n"
+      "  --kill-after-tasks K  fault: kill after K finished task attempts\n"
+      "  --slow-node N       fault: degrade node N's disk (straggler)\n"
+      "  --slow-factor F     fault: degraded disk speed factor (default 0.3)\n"
+      "  --slow-time T       fault: when the degradation hits (default 0)\n"
+      "  --fetch-fail P      fault: transient shuffle-fetch drop probability\n"
       "  --eventlog FILE     write the event log as JSON lines\n"
       "  --trace FILE        write a chrome://tracing file\n"
       "  --verbose           INFO-level engine logging\n"
@@ -134,6 +151,20 @@ std::optional<Args> parse(int argc, char** argv) {
       args.failure_prob = std::atof(value());
     } else if (a == "--speculation") {
       args.speculation = true;
+    } else if (a == "--kill-node") {
+      args.kill_node = std::atoi(value());
+    } else if (a == "--kill-time") {
+      args.kill_time = std::atof(value());
+    } else if (a == "--kill-after-tasks") {
+      args.kill_after_tasks = std::atoll(value());
+    } else if (a == "--slow-node") {
+      args.slow_node = std::atoi(value());
+    } else if (a == "--slow-factor") {
+      args.slow_factor = std::atof(value());
+    } else if (a == "--slow-time") {
+      args.slow_time = std::atof(value());
+    } else if (a == "--fetch-fail") {
+      args.fetch_fail_prob = std::atof(value());
     } else if (a == "--eventlog") {
       args.eventlog_path = value();
     } else if (a == "--trace") {
@@ -204,6 +235,21 @@ std::optional<workloads::WorkloadSpec> find_workload(const std::string& name,
   return std::nullopt;
 }
 
+void apply_fault_flags(conf::Config& config, const Args& args) {
+  if (args.kill_node < 0 && args.slow_node < 0 &&
+      args.fetch_fail_prob <= 0.0) {
+    return;
+  }
+  config.set_bool("saex.fault.enabled", true);
+  config.set_int("saex.fault.killNode", args.kill_node);
+  config.set("saex.fault.killTime", strfmt::format("{}", args.kill_time));
+  config.set_int("saex.fault.killAfterTasks", args.kill_after_tasks);
+  config.set_int("saex.fault.slowNode", args.slow_node);
+  config.set_double("saex.fault.slowFactor", args.slow_factor);
+  config.set("saex.fault.slowTime", strfmt::format("{}", args.slow_time));
+  config.set_double("saex.fault.fetchFailProb", args.fetch_fail_prob);
+}
+
 conf::Config make_config(const Args& args, const std::string& policy) {
   conf::Config config;
   config.set("saex.executor.policy", policy == "sweep" ? "static" : policy);
@@ -212,6 +258,7 @@ conf::Config make_config(const Args& args, const std::string& policy) {
                  args.parallelism > 0 ? args.parallelism : args.nodes * 32);
   config.set_double("saex.sim.taskFailureProb", args.failure_prob);
   config.set_bool("spark.speculation", args.speculation);
+  apply_fault_flags(config, args);
   return config;
 }
 
@@ -229,7 +276,13 @@ int run_once(const Args& args, const workloads::WorkloadSpec& spec,
   engine::JobReport report;
   bool first = true;
   for (const engine::Rdd& action : spec.build(ctx)) {
-    engine::JobReport r = ctx.run_job(action, spec.name);
+    engine::JobReport r;
+    try {
+      r = ctx.run_job(action, spec.name);
+    } catch (const engine::StageAbortedError& e) {
+      std::fprintf(stderr, "job failed: %s\n", e.what());
+      return 1;
+    }
     if (first) {
       report = std::move(r);
       first = false;
@@ -276,6 +329,7 @@ int run_serve(const Args& args) {
   config.set_int("saex.serve.maxConcurrentJobs", args.max_concurrent);
   config.set_int("saex.serve.maxQueuedJobs", args.max_queued);
   config.set_int("saex.serve.maxJobsPerClient", args.max_per_client);
+  apply_fault_flags(config, args);
   if (args.dynalloc) {
     config.set_bool("spark.dynamicAllocation.enabled", true);
     config.set_int("spark.dynamicAllocation.minExecutors", 1);
