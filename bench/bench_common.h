@@ -6,7 +6,11 @@
 // authors' DAS-5 testbed); orderings, rough factors, and crossovers are.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -15,6 +19,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "engine/context.h"
+#include "harness/harness.h"
 #include "workloads/workloads.h"
 
 namespace saexbench {
@@ -69,15 +74,26 @@ inline engine::JobReport run_workload(const workloads::WorkloadSpec& spec,
 
 /// Runs the static sweep {32,16,8,4,2} and returns reports keyed by thread
 /// count (the paper's Fig. 2/4/10 protocol: the user value applies to
-/// I/O-tagged stages, other stages keep the default).
+/// I/O-tagged stages, other stages keep the default). The five runs are
+/// independent simulations, so `jobs` > 1 fans them out over the
+/// saex::harness worker pool; results are identical to the serial loop.
 inline std::map<int, engine::JobReport> static_sweep(
-    const workloads::WorkloadSpec& spec, const RunOptions& base = {}) {
-  std::map<int, engine::JobReport> out;
-  for (const int t : {32, 16, 8, 4, 2}) {
+    const workloads::WorkloadSpec& spec, const RunOptions& base = {},
+    int jobs = 1) {
+  const std::vector<int> threads = {32, 16, 8, 4, 2};
+  std::vector<std::function<engine::JobReport()>> tasks;
+  tasks.reserve(threads.size());
+  for (const int t : threads) {
     RunOptions opt = base;
     opt.policy = "static";
     opt.static_io_threads = t;
-    out.emplace(t, run_workload(spec, opt));
+    tasks.push_back([spec, opt] { return run_workload(spec, opt); });
+  }
+  std::vector<engine::JobReport> reports =
+      harness::run_ordered(std::move(tasks), jobs);
+  std::map<int, engine::JobReport> out;
+  for (size_t i = 0; i < threads.size(); ++i) {
+    out.emplace(threads[i], std::move(reports[i]));
   }
   return out;
 }
@@ -103,6 +119,79 @@ inline std::map<int, int> best_fit_from_sweep(
     best[static_cast<int>(i)] = best_threads;
   }
   return best;
+}
+
+// --- machine-readable benchmark output (--json <path>) ----------------------
+//
+// Benches that track the perf trajectory collect (name, wall seconds, events
+// processed, events/sec) rows and dump them as a BENCH_*.json file. Keep the
+// schema tiny and append-only so future PRs can extend it without breaking
+// existing consumers.
+
+class BenchJson {
+ public:
+  void record(std::string name, double wall_seconds, uint64_t events) {
+    rows_.push_back(Row{std::move(name), wall_seconds, events,
+                        wall_seconds > 0.0
+                            ? static_cast<double>(events) / wall_seconds
+                            : 0.0});
+  }
+
+  bool empty() const noexcept { return rows_.empty(); }
+
+  /// Writes {"bench": <bench>, "benchmarks": [...]} to `path`.
+  bool write(const std::string& bench, const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"benchmarks\": [\n",
+                 bench.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+                   "\"events\": %llu, \"events_per_sec\": %.1f}%s\n",
+                   r.name.c_str(), r.wall_seconds,
+                   static_cast<unsigned long long>(r.events),
+                   r.events_per_sec, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double wall_seconds;
+    uint64_t events;
+    double events_per_sec;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Returns the value following `--json`, or "" when the flag is absent.
+inline std::string json_path_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+/// Parses `--jobs N` (0 = hardware concurrency); default 1 = serial.
+inline int jobs_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      return harness::resolve_jobs(std::atoi(argv[i + 1]));
+    }
+  }
+  return 1;
+}
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 inline std::string percent_delta(double baseline, double value) {

@@ -1,6 +1,7 @@
 // Figure 2: the runtime effect of the static solution on Terasort and
 // PageRank — thread counts {32,16,8,4,2} for I/O-tagged stages plus the
-// hypothetical per-stage BestFit.
+// hypothetical per-stage BestFit. `--jobs N` runs the sweep's independent
+// simulations in parallel (same results, less wall time).
 #include "bench_common.h"
 
 namespace {
@@ -8,8 +9,8 @@ namespace {
 using namespace saexbench;
 
 void sweep_app(const workloads::WorkloadSpec& spec, double paper_default,
-               double paper_best_gain) {
-  auto sweep = static_sweep(spec);
+               double paper_best_gain, int jobs) {
+  auto sweep = static_sweep(spec, {}, jobs);
   const auto best_fit = best_fit_from_sweep(sweep);
 
   RunOptions bf;
@@ -47,8 +48,9 @@ void sweep_app(const workloads::WorkloadSpec& spec, double paper_default,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace saexbench;
+  const int jobs = jobs_arg(argc, argv);
   print_title(
       "Figure 2", "runtime effect of the static solution (Terasort, PageRank)",
       "U-shape: an intermediate thread count (4-8) clearly beats both the "
@@ -56,7 +58,7 @@ int main() {
       "-47.5%); PageRank's static gains are much smaller (paper: -19%) since "
       "only its read/write stages are tagged");
 
-  sweep_app(workloads::terasort(), 1750, 39.35);
-  sweep_app(workloads::pagerank(), 2600, 19.02);
+  sweep_app(workloads::terasort(), 1750, 39.35, jobs);
+  sweep_app(workloads::pagerank(), 2600, 19.02, jobs);
   return 0;
 }

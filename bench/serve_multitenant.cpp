@@ -59,7 +59,8 @@ serve::ServeReport run_serve(const std::string& mode, const std::string& policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = jobs_arg(argc, argv);
   print_title("serve_multitenant",
               "multi-tenant job server: FIFO vs FAIR pools vs dynamic "
               "allocation vs adaptive executors (50-job bursty trace)",
@@ -74,13 +75,33 @@ int main() {
   t.big_input = gib(2.0);
   t.dim_input = mib(256);
 
+  // Five independent server simulations; `--jobs N` replays them in
+  // parallel on the harness pool without changing any report.
+  struct Variant {
+    const char* label;
+    const char* mode;
+    const char* policy;
+    bool dynalloc;
+  };
+  const std::vector<Variant> variants = {
+      {"FIFO/default", "FIFO", "default", false},
+      {"FAIR/default", "FAIR", "default", false},
+      {"FAIR/default+dynalloc", "FAIR", "default", true},
+      {"FIFO/adaptive", "FIFO", "dynamic", false},
+      {"FAIR/adaptive", "FAIR", "dynamic", false},
+  };
+  std::vector<std::function<serve::ServeReport()>> tasks;
+  for (const Variant& v : variants) {
+    tasks.push_back(
+        [v, t] { return run_serve(v.mode, v.policy, v.dynalloc, t); });
+  }
+  std::vector<serve::ServeReport> reports =
+      harness::run_ordered(std::move(tasks), jobs);
+
   std::vector<ServeResult> results;
-  results.push_back({"FIFO/default", run_serve("FIFO", "default", false, t)});
-  results.push_back({"FAIR/default", run_serve("FAIR", "default", false, t)});
-  results.push_back(
-      {"FAIR/default+dynalloc", run_serve("FAIR", "default", true, t)});
-  results.push_back({"FIFO/adaptive", run_serve("FIFO", "dynamic", false, t)});
-  results.push_back({"FAIR/adaptive", run_serve("FAIR", "dynamic", false, t)});
+  for (size_t i = 0; i < variants.size(); ++i) {
+    results.push_back({variants[i].label, std::move(reports[i])});
+  }
 
   TextTable table({"configuration", "interactive qwait p95", "batch qwait p95",
                    "aggregate makespan", "total", "fairness", "+exec/-exec"});

@@ -601,6 +601,7 @@ void SparkContext::maybe_finish_job(JobRun& run) {
   sim::Simulation& sim = cluster_->sim();
   run.report.finish_time = sim.now();
   run.report.total_runtime = run.report.finish_time - run.report.submit_time;
+  run.report.events_processed = sim.processed();
   std::sort(run.report.stages.begin(), run.report.stages.end(),
             [](const StageStats& a, const StageStats& b) {
               return a.ordinal < b.ordinal;
@@ -781,6 +782,7 @@ JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {
   event_log_.record(Event{EventKind::kJobEnd, sim.now(), job_id, -1, -1, -1,
                           0, report.app_name});
   report.total_runtime = sim.now() - job_start;
+  report.events_processed = sim.processed();
   for (const StageStats& s : report.stages) {
     report.total_disk_bytes += s.disk_read + s.disk_written;
   }

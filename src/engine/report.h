@@ -52,6 +52,9 @@ struct JobReport {
   double total_runtime = 0.0;
   Bytes input_bytes = 0;
   Bytes total_disk_bytes = 0;  // Table 2's "I/O activity"
+  // Cumulative kernel events the owning Simulation had processed when the
+  // job finished (throughput accounting for BENCH_*.json trajectories).
+  uint64_t events_processed = 0;
   std::vector<StageStats> stages;
 
   // Concurrent-submission bookkeeping (SparkContext::submit_job — the

@@ -1,0 +1,61 @@
+#include "harness/harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace saex::harness {
+
+int resolve_jobs(int requested) noexcept {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace detail {
+
+void run_indexed(std::size_t count, int jobs,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = count;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        // Keep the lowest-index failure so the parallel run reports the
+        // same error a serial run would have hit first.
+        const std::lock_guard lock(error_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const std::size_t n_workers =
+      std::min(static_cast<std::size_t>(jobs), count);
+  std::vector<std::thread> threads;
+  threads.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+}  // namespace saex::harness

@@ -1,0 +1,45 @@
+// Parallel experiment harness.
+//
+// Independent (config, seed) simulation runs share no mutable state — each
+// builds its own Cluster, Simulation, and SparkContext — so sweeping them is
+// embarrassingly parallel. run_ordered() fans tasks out over a fixed worker
+// pool and returns results indexed by submission order, which makes a
+// parallel sweep bitwise-identical to the serial loop it replaces: the i-th
+// result is always the i-th task's return value, and each task's simulation
+// is a pure function of its inputs.
+//
+// jobs <= 1 runs the tasks in order on the caller's thread (no pool), so
+// serial behavior is exactly the pre-harness code path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace saex::harness {
+
+/// Resolves a --jobs style request: n >= 1 is taken as-is, anything else
+/// (0, negative) selects the hardware concurrency.
+int resolve_jobs(int requested) noexcept;
+
+namespace detail {
+/// Runs body(0) .. body(count-1) on min(jobs, count) worker threads; each
+/// index runs exactly once. Rethrows the first task exception (by index
+/// order) after all workers drain. jobs <= 1 degenerates to a serial loop.
+void run_indexed(std::size_t count, int jobs,
+                 const std::function<void(std::size_t)>& body);
+}  // namespace detail
+
+/// Runs every task and returns their results in submission order.
+/// R must be default-constructible and movable (engine::JobReport,
+/// serve::ServeReport, and friends all are).
+template <typename R>
+std::vector<R> run_ordered(std::vector<std::function<R()>> tasks, int jobs) {
+  std::vector<R> out(tasks.size());
+  detail::run_indexed(tasks.size(), jobs,
+                      [&](std::size_t i) { out[i] = tasks[i](); });
+  return out;
+}
+
+}  // namespace saex::harness

@@ -14,7 +14,7 @@ CpuSet::CpuSet(sim::Simulation& sim, int cores, double speed_factor)
   assert(cores > 0);
 }
 
-void CpuSet::execute(double seconds, std::function<void()> done) {
+void CpuSet::execute(double seconds, sim::Callback done) {
   assert(seconds >= 0.0);
   Request req{seconds / speed_factor_, std::move(done)};
   if (busy_ < cores_) {
@@ -32,7 +32,7 @@ void CpuSet::start(Request req) {
   });
 }
 
-void CpuSet::finish(std::function<void()> done) {
+void CpuSet::finish(sim::Callback done) {
   --busy_;
   busy_tracker_.set_active(sim_.now(), static_cast<double>(busy_));
   if (!queue_.empty()) {

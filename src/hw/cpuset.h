@@ -5,7 +5,6 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 
 #include "metrics/io_accounting.h"
 #include "sim/simulation.h"
@@ -20,7 +19,7 @@ class CpuSet {
   CpuSet& operator=(const CpuSet&) = delete;
 
   /// Runs `seconds` of compute on one core; `done` fires at completion.
-  void execute(double seconds, std::function<void()> done);
+  void execute(double seconds, sim::Callback done);
 
   int cores() const noexcept { return cores_; }
   int busy_cores() const noexcept { return busy_; }
@@ -34,11 +33,11 @@ class CpuSet {
  private:
   struct Request {
     double seconds;
-    std::function<void()> done;
+    sim::Callback done;
   };
 
   void start(Request req);
-  void finish(std::function<void()> done);
+  void finish(sim::Callback done);
 
   sim::Simulation& sim_;
   int cores_;

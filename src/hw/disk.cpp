@@ -81,7 +81,7 @@ double Disk::current_rate_per_transfer() const noexcept {
   return capacity_eff(effective_streams()) / static_cast<double>(k);
 }
 
-void Disk::submit(Bytes bytes, bool is_write, std::function<void()> done,
+void Disk::submit(Bytes bytes, bool is_write, sim::Callback done,
                   double work_factor) {
   assert(bytes >= 0);
   assert(work_factor > 0.0);
@@ -127,7 +127,7 @@ void Disk::advance_and_reschedule() {
   // half a byte: below that, scheduling another wake-up can produce a dt too
   // small to advance the clock at large sim times (t + dt == t in doubles),
   // which would spin the event loop forever.
-  std::vector<std::function<void()>> finished;
+  std::vector<sim::Callback> finished;
   for (auto it = transfers_.begin(); it != transfers_.end();) {
     if (it->second.remaining_work <= 0.5) {
       finished.push_back(std::move(it->second.done));

@@ -26,7 +26,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -71,7 +70,7 @@ class Disk {
   /// scales the device work per byte: scattered access patterns (many small
   /// records, e.g. hash-shuffle spill files) cost more positioning time per
   /// byte than large sequential runs.
-  void submit(Bytes bytes, bool is_write, std::function<void()> done,
+  void submit(Bytes bytes, bool is_write, sim::Callback done,
               double work_factor = 1.0);
 
   int active_transfers() const noexcept { return static_cast<int>(transfers_.size()); }
@@ -103,7 +102,7 @@ class Disk {
     double remaining_work;  // bytes × cost factor
     Bytes bytes;
     bool is_write;
-    std::function<void()> done;
+    sim::Callback done;
   };
 
   void advance_and_reschedule();

@@ -58,7 +58,7 @@ double Network::flow_rate(const Flow& f) const noexcept {
 }
 
 void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
-                       std::function<void()> done) {
+                       sim::Callback done) {
   assert(src != dst && "local data must not cross the network");
   assert(bytes >= 0);
   if (bytes == 0) {
@@ -94,7 +94,7 @@ void Network::advance_and_reschedule() {
 
   // Half-byte completion threshold + floored wake-up: see Disk for why
   // sub-byte tails must not schedule zero-advance events.
-  std::vector<std::function<void()>> finished;
+  std::vector<sim::Callback> finished;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->second.remaining <= 0.5) {
       --up_count_[static_cast<size_t>(it->second.src)];

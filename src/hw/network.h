@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -54,7 +53,7 @@ class Network {
 
   /// Starts a flow; `done` fires at completion. src == dst is invalid
   /// (local data never crosses the network).
-  void transfer(NodeId src, NodeId dst, Bytes bytes, std::function<void()> done);
+  void transfer(NodeId src, NodeId dst, Bytes bytes, sim::Callback done);
 
   /// Fetch-connection accounting: a shuffle/remote-read request holds its
   /// connection open while the server reads the block from disk, so the
@@ -92,7 +91,7 @@ class Network {
     NodeId src;
     NodeId dst;
     double remaining;  // bytes
-    std::function<void()> done;
+    sim::Callback done;
   };
 
   double flow_rate(const Flow& f) const noexcept;

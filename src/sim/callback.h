@@ -1,0 +1,108 @@
+// Move-only type-erased void() callable with small-buffer optimization.
+//
+// The event kernel stores one callback per scheduled event, so the callback
+// representation is on the hottest path in the system. std::function is the
+// wrong tool there: it must stay copyable (forcing captured state onto the
+// heap beyond ~16 bytes) and its copy is taken once more when an event is
+// read back out of a container. Callback is move-only — scheduling transfers
+// ownership — and inlines captures up to kInlineSize bytes, which covers
+// every completion lambda the engine and hardware models create (this
+// pointer + a few ids/sizes). Larger or throwing-move callables fall back to
+// a single heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace saex::sim {
+
+class Callback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  Callback() noexcept {}
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every schedule_* call site
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      inline_ = true;
+      relocate_or_destroy_ = [](void* dst, void* src) noexcept {
+        D* s = static_cast<D*>(src);
+        if (dst != nullptr) ::new (dst) D(std::move(*s));
+        s->~D();
+      };
+    } else {
+      ptr_ = new D(std::forward<F>(f));
+      inline_ = false;
+      relocate_or_destroy_ = [](void* dst, void* src) noexcept {
+        (void)dst;  // heap targets move by pointer steal, never relocate
+        delete static_cast<D*>(src);
+      };
+    }
+    invoke_ = [](void* p) { (*static_cast<D*>(p))(); };
+  }
+
+  Callback(Callback&& other) noexcept { steal(other); }
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+  ~Callback() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(target()); }
+
+  void reset() noexcept {
+    if (invoke_ == nullptr) return;
+    relocate_or_destroy_(nullptr, target());
+    invoke_ = nullptr;
+    relocate_or_destroy_ = nullptr;
+  }
+
+ private:
+  void* target() noexcept {
+    return inline_ ? static_cast<void*>(buf_) : ptr_;
+  }
+
+  void steal(Callback& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_or_destroy_ = other.relocate_or_destroy_;
+    inline_ = other.inline_;
+    if (invoke_ != nullptr) {
+      if (inline_) {
+        other.relocate_or_destroy_(buf_, other.buf_);
+      } else {
+        ptr_ = other.ptr_;
+      }
+      other.invoke_ = nullptr;
+      other.relocate_or_destroy_ = nullptr;
+    }
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+    void* ptr_;
+  };
+  void (*invoke_)(void*) = nullptr;
+  // dst == nullptr: destroy/delete src. dst != nullptr (inline targets
+  // only): move-construct into dst, then destroy src.
+  void (*relocate_or_destroy_)(void* dst, void* src) noexcept = nullptr;
+  bool inline_ = false;
+};
+
+}  // namespace saex::sim

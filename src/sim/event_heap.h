@@ -1,0 +1,80 @@
+// Hand-rolled 4-ary min-heap over plain-old-data event keys.
+//
+// The kernel keeps callbacks out of the heap entirely (they live in the
+// Simulation's slot table), so heap entries are 24-byte PODs and every sift
+// step is a trivial copy — no allocator traffic, no move-constructor calls
+// through type-erasure, and a 4-way branching factor that halves the tree
+// depth and keeps sibling groups on one cache line compared to the binary
+// std::priority_queue it replaces. pop() moves the top entry out by value;
+// there is no copying of whole events through top().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace saex::sim {
+
+struct EventKey {
+  double t;       // absolute firing time
+  uint64_t seq;   // schedule order; breaks timestamp ties FIFO
+  uint32_t slot;  // index into the Simulation's slot table
+};
+
+inline bool earlier(const EventKey& a, const EventKey& b) noexcept {
+  if (a.t != b.t) return a.t < b.t;
+  return a.seq < b.seq;
+}
+
+class EventHeap {
+ public:
+  bool empty() const noexcept { return v_.empty(); }
+  std::size_t size() const noexcept { return v_.size(); }
+  const EventKey& top() const noexcept { return v_[0]; }
+
+  void push(EventKey e) {
+    std::size_t i = v_.size();
+    v_.push_back(e);  // reserve the hole; overwritten below
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!earlier(e, v_[parent])) break;
+      v_[i] = v_[parent];
+      i = parent;
+    }
+    v_[i] = e;
+  }
+
+  EventKey pop() {
+    const EventKey out = v_[0];
+    const EventKey last = v_.back();
+    v_.pop_back();
+    if (!v_.empty()) sift_down(last);
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  void sift_down(EventKey e) {
+    const std::size_t n = v_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end =
+          first_child + kArity < n ? first_child + kArity : n;
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (earlier(v_[c], v_[best])) best = c;
+      }
+      if (!earlier(v_[best], e)) break;
+      v_[i] = v_[best];
+      i = best;
+    }
+    v_[i] = e;
+  }
+
+  std::vector<EventKey> v_;
+};
+
+}  // namespace saex::sim

@@ -4,13 +4,22 @@
 // on a single-threaded event loop over simulated seconds. Determinism:
 // events with equal timestamps fire in scheduling order (FIFO tiebreak), so
 // a run is a pure function of (configuration, seed).
+//
+// Hot-path layout: the priority queue (a hand-rolled 4-ary heap) holds
+// 24-byte POD keys only; callbacks live in a generation-stamped slot table
+// and are moved out exactly once, when their event fires. cancel() is O(1):
+// it flips the slot's tombstone flag, and the key is dropped when it
+// surfaces at the queue head. The generation stamp makes stale handles —
+// including ids of already-fired events — detectably invalid, so cancel()
+// never tombstones an event that is no longer pending.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
 #include <vector>
+
+#include "sim/callback.h"
+#include "sim/event_heap.h"
 
 namespace saex::sim {
 
@@ -31,13 +40,13 @@ class Simulation {
   Time now() const noexcept { return now_; }
 
   /// Schedules `fn` at absolute time `t` (clamped to now()).
-  EventId schedule_at(Time t, std::function<void()> fn);
+  EventId schedule_at(Time t, Callback fn);
 
   /// Schedules `fn` `delay` seconds from now (negative delays clamp to 0).
-  EventId schedule_after(Time delay, std::function<void()> fn);
+  EventId schedule_after(Time delay, Callback fn);
 
-  /// Cancels a pending event; no-op if it already fired or was cancelled.
-  /// Returns true if the event was pending.
+  /// Cancels a pending event. Returns true if the event was pending; false
+  /// for double-cancels, already-fired events, and invalid handles.
   bool cancel(EventId id);
 
   /// Runs until the event queue is empty. Returns the final time.
@@ -55,28 +64,33 @@ class Simulation {
   uint64_t processed() const noexcept { return processed_; }
 
  private:
-  struct Event {
-    Time t;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;  // FIFO among simultaneous events
-    }
+  // One scheduled (or tombstoned) event's payload. The generation counter
+  // increments every time the slot is released, so an EventId minted for an
+  // earlier occupancy no longer matches.
+  struct Slot {
+    Callback cb;
+    uint32_t generation = 0;
+    bool cancelled = false;
   };
 
+  static EventId make_id(uint32_t generation, uint32_t slot) noexcept {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  uint32_t alloc_slot();
+  void release_slot(uint32_t index) noexcept;
   bool fire_next();
+  /// Pops tombstoned entries sitting at the queue head.
+  void drop_cancelled_head();
 
   Time now_ = 0.0;
-  EventId next_id_ = 1;
+  uint64_t seq_ = 0;  // total schedule_* calls; FIFO tiebreak key
   uint64_t processed_ = 0;
   size_t live_events_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Cancelled ids; lazily dropped when they reach the queue head.
-  std::vector<EventId> cancelled_;
-  bool is_cancelled(EventId id) const noexcept;
+  EventHeap queue_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace saex::sim

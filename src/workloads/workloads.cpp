@@ -30,6 +30,7 @@ engine::JobReport run_impl(const WorkloadSpec& spec, hw::Cluster& cluster,
     } else {
       merged.total_runtime += r.total_runtime;
       merged.total_disk_bytes += r.total_disk_bytes;
+      merged.events_processed = r.events_processed;  // cumulative per sim
       for (engine::StageStats& s : r.stages) {
         merged.stages.push_back(std::move(s));
       }

@@ -1,0 +1,104 @@
+// saex::harness — ordered parallel runner. The load-bearing guarantee is
+// that a parallel sweep is indistinguishable from the serial loop it
+// replaced: results in submission order, reports bitwise-identical.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/harness.h"
+#include "workloads/workloads.h"
+
+namespace saex::harness {
+namespace {
+
+TEST(Harness, ResolveJobsClampsToAtLeastOne) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  EXPECT_GE(resolve_jobs(0), 1);   // 0 → hardware concurrency
+  EXPECT_GE(resolve_jobs(-3), 1);
+}
+
+TEST(Harness, ResultsComeBackInSubmissionOrder) {
+  for (const int jobs : {1, 2, 8}) {
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 64; ++i) tasks.push_back([i] { return i * 7; });
+    const std::vector<int> out = run_ordered(std::move(tasks), jobs);
+    ASSERT_EQ(out.size(), 64u) << "jobs=" << jobs;
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i * 7);
+  }
+}
+
+TEST(Harness, AllTasksRunExactlyOnce) {
+  std::atomic<int> calls{0};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 40; ++i) {
+    tasks.push_back([&calls] { return ++calls; });
+  }
+  const auto out = run_ordered(std::move(tasks), 4);
+  EXPECT_EQ(calls.load(), 40);
+  EXPECT_EQ(out.size(), 40u);
+}
+
+TEST(Harness, ExceptionFromTaskPropagates) {
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i]() -> int {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      return i;
+    });
+  }
+  EXPECT_THROW(run_ordered(std::move(tasks), 4), std::runtime_error);
+}
+
+// ---- serial vs parallel determinism on real simulations --------------------
+
+engine::JobReport run_one(int io_threads) {
+  hw::ClusterSpec cs = hw::ClusterSpec::das5(2);
+  cs.seed = 7;
+  hw::Cluster cluster(cs);
+  conf::Config config;
+  config.set("saex.executor.policy", "static");
+  config.set_int("saex.static.ioThreads", io_threads);
+  return workloads::run(workloads::terasort(gib(4)), cluster,
+                        std::move(config));
+}
+
+TEST(Harness, ParallelSweepBitwiseIdenticalToSerial) {
+  const std::vector<int> thread_counts = {16, 8, 2};
+  auto make_tasks = [&] {
+    std::vector<std::function<engine::JobReport()>> tasks;
+    for (const int t : thread_counts) {
+      tasks.push_back([t] { return run_one(t); });
+    }
+    return tasks;
+  };
+  const auto serial = run_ordered(make_tasks(), 1);
+  const auto par = run_ordered(make_tasks(), 3);
+  ASSERT_EQ(serial.size(), par.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const engine::JobReport& a = serial[i];
+    const engine::JobReport& b = par[i];
+    // Exact (==) double comparisons on purpose: the same computation on
+    // another thread must produce the very same bits.
+    EXPECT_EQ(a.total_runtime, b.total_runtime) << "sweep point " << i;
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    EXPECT_EQ(a.total_disk_bytes, b.total_disk_bytes);
+    ASSERT_EQ(a.stages.size(), b.stages.size());
+    for (size_t s = 0; s < a.stages.size(); ++s) {
+      EXPECT_EQ(a.stages[s].start_time, b.stages[s].start_time);
+      EXPECT_EQ(a.stages[s].end_time, b.stages[s].end_time);
+      EXPECT_EQ(a.stages[s].disk_read, b.stages[s].disk_read);
+      EXPECT_EQ(a.stages[s].disk_written, b.stages[s].disk_written);
+      EXPECT_EQ(a.stages[s].net_bytes, b.stages[s].net_bytes);
+      EXPECT_EQ(a.stages[s].cpu_utilization, b.stages[s].cpu_utilization);
+    }
+    EXPECT_EQ(a.to_csv(), b.to_csv());
+    EXPECT_EQ(a.render(), b.render());
+  }
+}
+
+}  // namespace
+}  // namespace saex::harness

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -114,6 +116,127 @@ TEST(Simulation, PendingCountsLiveEvents) {
   EXPECT_EQ(s.pending(), 1u);
   s.run();
   EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulation, CancelOfFiredEventReturnsFalse) {
+  Simulation s;
+  bool a = false, b = false;
+  const EventId first = s.schedule_at(1.0, [&] { a = true; });
+  s.schedule_at(2.0, [&] { b = true; });
+  EXPECT_TRUE(s.step());  // fires `first`
+  EXPECT_TRUE(a);
+  EXPECT_EQ(s.pending(), 1u);
+  // Regression: cancelling an already-fired id used to push a tombstone that
+  // never surfaced and decrement live_events_, corrupting pending().
+  EXPECT_FALSE(s.cancel(first));
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s.processed(), 2u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulation, CancelOfStaleIdAfterSlotReuse) {
+  Simulation s;
+  const EventId first = s.schedule_at(1.0, [] {});
+  s.run();  // `first` fires; its slot is recycled
+  bool fired = false;
+  s.schedule_at(2.0, [&] { fired = true; });
+  EXPECT_FALSE(s.cancel(first));  // stale handle must not hit the new event
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, CancelOfInvalidIdsReturnsFalse) {
+  Simulation s;
+  EXPECT_FALSE(s.cancel(kInvalidEvent));
+  EXPECT_FALSE(s.cancel(987654321));  // never minted
+  s.schedule_at(1.0, [] {});
+  EXPECT_FALSE(s.cancel(987654321));
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulation, RunUntilFiresEventExactlyAtLimit) {
+  Simulation s;
+  bool at_limit = false, past_limit = false;
+  s.schedule_at(2.0, [&] { at_limit = true; });
+  s.schedule_at(2.0000001, [&] { past_limit = true; });
+  EXPECT_TRUE(s.run_until(2.0));  // boundary event fires; later one remains
+  EXPECT_TRUE(at_limit);
+  EXPECT_FALSE(past_limit);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  EXPECT_FALSE(s.run_until(3.0));
+  EXPECT_TRUE(past_limit);
+}
+
+TEST(Simulation, CancelThenFireKeepsFifoOfSurvivors) {
+  Simulation s;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(s.schedule_at(1.0, [&order, i] { order.push_back(i); }));
+  }
+  EXPECT_TRUE(s.cancel(ids[0]));
+  EXPECT_TRUE(s.cancel(ids[3]));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5}));
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.processed(), 4u);
+}
+
+TEST(Simulation, FullyCancelledQueueDrainsWithoutAdvancingTime) {
+  Simulation s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(s.schedule_at(1.0 + i, [] {}));
+  }
+  for (const EventId id : ids) EXPECT_TRUE(s.cancel(id));
+  EXPECT_EQ(s.pending(), 0u);
+  s.run();
+  EXPECT_EQ(s.processed(), 0u);
+  EXPECT_EQ(s.now(), 0.0);  // tombstones must not move the clock
+}
+
+TEST(Simulation, RandomScheduleCancelMatchesReference) {
+  // Pseudo-random schedule/cancel mix checked against a stable-sort oracle:
+  // survivors must fire in (time, schedule order).
+  Simulation s;
+  struct Ref {
+    double t;
+    int tag;
+    bool cancelled = false;
+  };
+  std::vector<Ref> refs;
+  std::vector<EventId> ids;
+  std::vector<int> fired;
+  uint64_t rng = 42;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const double t = static_cast<double>(next() % 97);  // many timestamp ties
+    refs.push_back(Ref{t, i});
+    ids.push_back(s.schedule_at(t, [&fired, i] { fired.push_back(i); }));
+    if (next() % 4 == 0) {
+      const size_t victim = next() % refs.size();
+      if (!refs[victim].cancelled) {
+        EXPECT_TRUE(s.cancel(ids[victim]));
+        refs[victim].cancelled = true;
+      }
+    }
+  }
+  s.run();
+  std::vector<int> expected;
+  std::vector<size_t> by_order(refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) by_order[i] = i;
+  std::stable_sort(by_order.begin(), by_order.end(),
+                   [&](size_t a, size_t b) { return refs[a].t < refs[b].t; });
+  for (const size_t i : by_order) {
+    if (!refs[i].cancelled) expected.push_back(refs[i].tag);
+  }
+  EXPECT_EQ(fired, expected);
 }
 
 TEST(Simulation, CascadingEventsTerminate) {

@@ -10,7 +10,9 @@
    has a matching bench/<name>.cpp.
 4. Module freshness: every module docs/ARCHITECTURE.md bolds as
    **`src/<name>/`** exists, and every directory under src/ is documented.
-5. Test-count agreement: the test count README.md claims matches the one
+5. Kernel-bench sync: BENCH_kernel.json parses and every scenario it
+   records is discussed in docs/PERFORMANCE.md.
+6. Test-count agreement: the test count README.md claims matches the one
    EXPERIMENTS.md records.
 
 Exit code 0 iff everything holds; each violation prints one line.
@@ -103,6 +105,27 @@ def check_architecture_modules():
         fail(f"docs/ARCHITECTURE.md: src/{m}/ exists but has no module paragraph")
 
 
+def check_kernel_bench():
+    """BENCH_kernel.json (checked-in kernel_perf snapshot) must stay in sync
+    with docs/PERFORMANCE.md: every scenario it records is discussed there."""
+    import json
+
+    path = os.path.join(ROOT, "BENCH_kernel.json")
+    if not os.path.exists(path):
+        fail("BENCH_kernel.json: missing (run ./build/bench/kernel_perf --json BENCH_kernel.json)")
+        return
+    try:
+        data = json.loads(read(path))
+    except ValueError as e:
+        fail(f"BENCH_kernel.json: invalid JSON ({e})")
+        return
+    doc = read(os.path.join(ROOT, "docs/PERFORMANCE.md"))
+    for entry in data.get("benchmarks", []):
+        name = entry.get("name", "")
+        if f"`{name}`" not in doc:
+            fail(f"docs/PERFORMANCE.md: BENCH_kernel.json scenario `{name}` is undocumented")
+
+
 def check_test_count():
     readme = re.search(r"#\s*(\d+)\s+tests", read(os.path.join(ROOT, "README.md")))
     exp = re.search(r"(\d+)/\1 tests pass", read(os.path.join(ROOT, "EXPERIMENTS.md")))
@@ -124,6 +147,7 @@ def main():
     check_fault_keys()
     check_bench_references()
     check_architecture_modules()
+    check_kernel_bench()
     check_test_count()
     if failures:
         print(f"\n{len(failures)} documentation check(s) failed")

@@ -5,6 +5,7 @@
 //
 //   saexsim --workload terasort --policy dynamic
 //   saexsim --workload pagerank --policy sweep            # static {32..2}
+//   saexsim --workload pagerank --policy sweep --jobs 0   # sweep on all cores
 //   saexsim --workload join --nodes 16 --ssd --seed 7
 //   saexsim --workload terasort --policy dynamic --trace /tmp/run.json
 //   saexsim serve --jobs 50 --mode FAIR --dynalloc       # multi-tenant server
@@ -12,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -19,6 +21,7 @@
 
 #include "common/format.h"
 #include "common/log.h"
+#include "harness/harness.h"
 #include "serve/job_server.h"
 #include "workloads/workloads.h"
 
@@ -57,6 +60,9 @@ struct Args {
   std::string trace_path;
   bool list = false;
   bool help = false;
+  // Harness parallelism for multi-run modes (policy sweep). In the serve
+  // subcommand --jobs means trace length instead (kept for compatibility).
+  int par_jobs = 1;
 
   // serve subcommand
   int serve_jobs = 50;
@@ -96,6 +102,10 @@ void usage() {
       "  --fetch-fail P      fault: transient shuffle-fetch drop probability\n"
       "  --eventlog FILE     write the event log as JSON lines\n"
       "  --trace FILE        write a chrome://tracing file\n"
+      "  --jobs N            run the sweep's 5 simulations on N worker\n"
+      "                      threads (0 = all cores); results are identical\n"
+      "                      to the serial run. Sweep eventlog/trace files\n"
+      "                      get a .<threads> suffix per run.\n"
       "  --verbose           INFO-level engine logging\n"
       "\n"
       "saexsim serve — multi-tenant job server replaying an arrival trace\n"
@@ -170,7 +180,11 @@ std::optional<Args> parse(int argc, char** argv) {
     } else if (a == "--trace") {
       args.trace_path = value();
     } else if (a == "--jobs") {
-      args.serve_jobs = std::atoi(value());
+      if (args.serve) {
+        args.serve_jobs = std::atoi(value());
+      } else {
+        args.par_jobs = harness::resolve_jobs(std::atoi(value()));
+      }
     } else if (a == "--arrival-mean") {
       args.arrival_mean = std::atof(value());
     } else if (a == "--mode") {
@@ -262,8 +276,17 @@ conf::Config make_config(const Args& args, const std::string& policy) {
   return config;
 }
 
-int run_once(const Args& args, const workloads::WorkloadSpec& spec,
-             const std::string& policy, int io_threads) {
+struct RunResult {
+  int rc = 0;
+  std::string text;  // rendered report + file-write notices
+};
+
+// One full simulation, rendered into a string so sweep runs can execute on
+// harness worker threads and still print in deterministic order.
+RunResult simulate_once(const Args& args, const workloads::WorkloadSpec& spec,
+                        const std::string& policy, int io_threads,
+                        const std::string& eventlog_path,
+                        const std::string& trace_path) {
   hw::ClusterSpec cs = args.ssd ? hw::ClusterSpec::das5_ssd(args.nodes)
                                 : hw::ClusterSpec::das5(args.nodes);
   cs.seed = args.seed;
@@ -272,6 +295,7 @@ int run_once(const Args& args, const workloads::WorkloadSpec& spec,
   conf::Config config = make_config(args, policy);
   config.set_int("saex.static.ioThreads", io_threads);
 
+  RunResult res;
   engine::SparkContext ctx(cluster, std::move(config));
   engine::JobReport report;
   bool first = true;
@@ -280,8 +304,9 @@ int run_once(const Args& args, const workloads::WorkloadSpec& spec,
     try {
       r = ctx.run_job(action, spec.name);
     } catch (const engine::StageAbortedError& e) {
-      std::fprintf(stderr, "job failed: %s\n", e.what());
-      return 1;
+      res.text += strfmt::format("job failed: {}\n", e.what());
+      res.rc = 1;
+      return res;
     }
     if (first) {
       report = std::move(r);
@@ -289,6 +314,7 @@ int run_once(const Args& args, const workloads::WorkloadSpec& spec,
     } else {
       report.total_runtime += r.total_runtime;
       report.total_disk_bytes += r.total_disk_bytes;
+      report.events_processed = r.events_processed;
       for (auto& s : r.stages) report.stages.push_back(std::move(s));
     }
   }
@@ -296,21 +322,58 @@ int run_once(const Args& args, const workloads::WorkloadSpec& spec,
     report.stages[i].ordinal = static_cast<int>(i);
   }
   report.input_bytes = spec.input_size;
-  std::printf("%s\n", report.render().c_str());
+  res.text += report.render() + "\n";
 
-  if (!args.eventlog_path.empty()) {
+  if (!eventlog_path.empty()) {
     const bool ok = engine::EventLog::write_file(
-        args.eventlog_path, ctx.event_log().to_json_lines());
-    std::printf("%s event log -> %s\n", ok ? "wrote" : "FAILED to write",
-                args.eventlog_path.c_str());
+        eventlog_path, ctx.event_log().to_json_lines());
+    res.text += strfmt::format("{} event log -> {}\n",
+                               ok ? "wrote" : "FAILED to write", eventlog_path);
   }
-  if (!args.trace_path.empty()) {
+  if (!trace_path.empty()) {
     const bool ok = engine::EventLog::write_file(
-        args.trace_path, ctx.event_log().to_chrome_trace());
-    std::printf("%s chrome trace -> %s (open in chrome://tracing)\n",
-                ok ? "wrote" : "FAILED to write", args.trace_path.c_str());
+        trace_path, ctx.event_log().to_chrome_trace());
+    res.text += strfmt::format(
+        "{} chrome trace -> {} (open in chrome://tracing)\n",
+        ok ? "wrote" : "FAILED to write", trace_path);
   }
-  return 0;
+  return res;
+}
+
+int run_once(const Args& args, const workloads::WorkloadSpec& spec,
+             const std::string& policy, int io_threads) {
+  const RunResult res = simulate_once(args, spec, policy, io_threads,
+                                      args.eventlog_path, args.trace_path);
+  std::fputs(res.text.c_str(), res.rc == 0 ? stdout : stderr);
+  return res.rc;
+}
+
+// The static {32,16,8,4,2} sweep: 5 independent simulations run on
+// args.par_jobs harness workers. Output order (and every number in it) is
+// identical to the serial loop; per-run eventlog/trace files get a
+// .<threads> suffix so parallel runs never race on one path.
+int run_sweep(const Args& args, const workloads::WorkloadSpec& spec) {
+  const std::vector<int> threads = {32, 16, 8, 4, 2};
+  std::vector<std::function<RunResult()>> tasks;
+  for (const int t : threads) {
+    const std::string suffix = strfmt::format(".{}", t);
+    const std::string eventlog =
+        args.eventlog_path.empty() ? "" : args.eventlog_path + suffix;
+    const std::string trace =
+        args.trace_path.empty() ? "" : args.trace_path + suffix;
+    tasks.push_back([&args, &spec, t, eventlog, trace] {
+      return simulate_once(args, spec, "static", t, eventlog, trace);
+    });
+  }
+  std::vector<RunResult> results =
+      harness::run_ordered(std::move(tasks), args.par_jobs);
+  int rc = 0;
+  for (size_t i = 0; i < threads.size(); ++i) {
+    std::printf("==== static, %d threads on I/O stages ====\n", threads[i]);
+    std::fputs(results[i].text.c_str(), stdout);
+    rc = rc != 0 ? rc : results[i].rc;
+  }
+  return rc;
 }
 
 int run_serve(const Args& args) {
@@ -420,11 +483,7 @@ int main(int argc, char** argv) {
   }
 
   if (args.policy == "sweep") {
-    for (const int t : {32, 16, 8, 4, 2}) {
-      std::printf("==== static, %d threads on I/O stages ====\n", t);
-      run_once(args, *spec, "static", t);
-    }
-    return 0;
+    return run_sweep(args, *spec);
   }
   if (!serve_policy_ok) {
     std::fprintf(stderr, "unknown policy '%s' (valid: %s)\n",
