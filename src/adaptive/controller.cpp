@@ -1,6 +1,7 @@
 #include "adaptive/controller.h"
 
 #include "common/log.h"
+#include "prof/profiler.h"
 #include "conf/config.h"
 
 namespace saex::adaptive {
@@ -79,6 +80,7 @@ void AdaptiveController::on_tick(double now) {
 }
 
 void AdaptiveController::close_interval_and_decide(double now) {
+  SAEX_PROF_SCOPE(kAdaptive);
   const IntervalReport report = monitor_.end_interval(now);
   knowledge_.record_interval(stage_key_, report);
 

@@ -107,6 +107,7 @@ SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
   sched_options.max_failed_tasks_per_executor = static_cast<int>(
       config_.get_int("spark.blacklist.stage.maxFailedTasksPerExecutor"));
   sched_options.event_log = &event_log_;
+  sched_options.metrics = &metrics_;
   scheduler_ = std::make_unique<TaskScheduler>(cluster.sim(), raw,
                                                sched_options);
   scheduler_->set_fetch_failure_hook(

@@ -33,6 +33,7 @@
 #include "engine/task_scheduler.h"
 #include "fault/fault.h"
 #include "hw/cluster.h"
+#include "metrics/registry.h"
 
 namespace saex::engine {
 
@@ -105,6 +106,9 @@ class SparkContext {
   int num_executors() const noexcept { return static_cast<int>(executors_.size()); }
   TaskScheduler& scheduler() noexcept { return *scheduler_; }
   ShuffleManager& shuffles() noexcept { return *shuffles_; }
+  /// Engine-level rollup counters (task dispatch/finish/failure, resizes,
+  /// lineage recoveries). Handle-based: hot paths resolve names once.
+  metrics::Registry& metrics() noexcept { return metrics_; }
 
   // --- fault tolerance -----------------------------------------------------
 
@@ -147,6 +151,7 @@ class SparkContext {
   std::unique_ptr<ShuffleManager> shuffles_;
   std::unique_ptr<CacheRegistry> caches_;
   std::vector<std::unique_ptr<ExecutorRuntime>> executors_;
+  metrics::Registry metrics_;  // before scheduler_: handles point into it
   std::unique_ptr<TaskScheduler> scheduler_;
   std::unique_ptr<DagScheduler> dag_;
   EventLog event_log_;

@@ -17,7 +17,8 @@ struct Chain {
   std::vector<RddNodeRef> nodes;
   // What feeds the chain from below.
   StageSource source = StageSource::kNone;
-  RddNodeRef boundary;  // shuffle node (or join parents via nodes.front())
+  RddNodeRef boundary = nullptr;  // shuffle node (or join parents via
+                                  // nodes.front())
   int cached_id = -1;
 };
 

@@ -45,7 +45,7 @@ class DagScheduler {
  private:
   struct ChainInfo {
     std::vector<RddNodeRef> nodes;  // source..sink order
-    RddNodeRef boundary;            // shuffle/join/cache source below chain
+    RddNodeRef boundary = nullptr;  // shuffle/join/cache source below chain
   };
 
   // Returns the uid of the stage that materializes `node`'s output, creating

@@ -46,7 +46,10 @@ struct ShuffleTraits {
 };
 
 struct RddNode;
-using RddNodeRef = std::shared_ptr<const RddNode>;
+// Plan nodes live in the PlanBuilder's arena (stable addresses, owned by the
+// SparkContext); handles and parent edges are plain pointers — building and
+// walking a plan does no shared_ptr refcount traffic.
+using RddNodeRef = const RddNode*;
 
 struct RddNode {
   int id = 0;
@@ -101,25 +104,30 @@ class Rdd {
   Rdd collect(std::string name = "collect") const;
   Rdd count() const { return collect("count"); }
 
-  const RddNodeRef& node() const noexcept { return node_; }
+  RddNodeRef node() const noexcept { return node_; }
   bool valid() const noexcept { return node_ != nullptr; }
 
  private:
   friend class PlanBuilder;
-  Rdd(PlanBuilder* builder, RddNodeRef node) : builder_(builder), node_(std::move(node)) {}
+  Rdd(PlanBuilder* builder, RddNodeRef node) : builder_(builder), node_(node) {}
 
   PlanBuilder* builder_ = nullptr;
-  RddNodeRef node_;
+  RddNodeRef node_ = nullptr;
 };
 
-/// Allocates plan nodes with unique ids; owned by the SparkContext.
+/// Allocates plan nodes with unique ids into an arena; owned by the
+/// SparkContext, which outlives every Rdd handle and JobPlan built from it.
 class PlanBuilder {
  public:
   Rdd text_file(std::string path);
   Rdd wrap(RddNode node);
 
+  int num_nodes() const noexcept { return next_id_; }
+
  private:
   int next_id_ = 0;
+  // unique_ptr elements: node addresses stay stable as the arena grows.
+  std::vector<std::unique_ptr<RddNode>> arena_;
 };
 
 }  // namespace saex::engine

@@ -15,7 +15,8 @@ Rdd PlanBuilder::text_file(std::string path) {
 
 Rdd PlanBuilder::wrap(RddNode node) {
   node.id = next_id_++;
-  return Rdd(this, std::make_shared<const RddNode>(std::move(node)));
+  arena_.push_back(std::make_unique<RddNode>(std::move(node)));
+  return Rdd(this, arena_.back().get());
 }
 
 namespace {

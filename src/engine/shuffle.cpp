@@ -2,31 +2,50 @@
 
 #include <cassert>
 
+#include "prof/profiler.h"
+
 namespace saex::engine {
+
+ShuffleManager::ShuffleState& ShuffleManager::state_for(int shuffle_id) {
+  assert(shuffle_id >= 0);
+  if (static_cast<size_t>(shuffle_id) >= shuffles_.size()) {
+    shuffles_.resize(static_cast<size_t>(shuffle_id) + 1);
+  }
+  return shuffles_[static_cast<size_t>(shuffle_id)];
+}
 
 bool ShuffleManager::register_map_output(int shuffle_id, int node,
                                          int partition, Bytes bytes) {
   assert(node >= 0 && node < num_nodes_);
-  auto& commits = commits_[shuffle_id];
-  if (const auto it = commits.find(partition); it != commits.end()) {
+  assert(partition >= 0);
+  ShuffleState& s = state_for(shuffle_id);
+  if (!s.created) {
+    s.created = true;
+    s.per_node.assign(static_cast<size_t>(num_nodes_), 0);
+  }
+  if (static_cast<size_t>(partition) >= s.commit_node.size()) {
+    s.commit_node.resize(static_cast<size_t>(partition) + 1, -1);
+    s.commit_bytes.resize(static_cast<size_t>(partition) + 1, 0);
+  }
+  if (s.commit_node[static_cast<size_t>(partition)] >= 0) {
     ++duplicate_commits_;
     return false;
   }
-  commits.emplace(partition, std::make_pair(node, bytes));
-  auto& per_node = outputs_[shuffle_id];
-  per_node.resize(static_cast<size_t>(num_nodes_), 0);
-  per_node[static_cast<size_t>(node)] += bytes;
+  s.commit_node[static_cast<size_t>(partition)] = node;
+  s.commit_bytes[static_cast<size_t>(partition)] = bytes;
+  s.per_node[static_cast<size_t>(node)] += bytes;
   return true;
 }
 
 std::vector<Bytes> ShuffleManager::fetch_plan(int shuffle_id, int partition,
                                               int num_partitions) const {
+  SAEX_PROF_SCOPE(kShuffle);
   assert(partition >= 0 && partition < num_partitions);
   std::vector<Bytes> plan(static_cast<size_t>(num_nodes_), 0);
-  const auto it = outputs_.find(shuffle_id);
-  if (it == outputs_.end()) return plan;
+  if (!has_shuffle(shuffle_id)) return plan;
+  const ShuffleState& s = shuffles_[static_cast<size_t>(shuffle_id)];
   for (int n = 0; n < num_nodes_; ++n) {
-    const Bytes total = it->second[static_cast<size_t>(n)];
+    const Bytes total = s.per_node[static_cast<size_t>(n)];
     const Bytes base = total / num_partitions;
     const Bytes rem = total % num_partitions;
     plan[static_cast<size_t>(n)] = base + (partition < rem ? 1 : 0);
@@ -36,18 +55,19 @@ std::vector<Bytes> ShuffleManager::fetch_plan(int shuffle_id, int partition,
 
 std::map<int, std::vector<int>> ShuffleManager::on_node_lost(int node) {
   std::map<int, std::vector<int>> lost;
-  for (auto& [sid, commits] : commits_) {
-    auto& per_node = outputs_[sid];
-    for (auto it = commits.begin(); it != commits.end();) {
-      if (it->second.first == node) {
-        per_node[static_cast<size_t>(node)] -= it->second.second;
-        lost[sid].push_back(it->first);
-        it = commits.erase(it);
-      } else {
-        ++it;
-      }
+  for (size_t sid = 0; sid < shuffles_.size(); ++sid) {
+    ShuffleState& s = shuffles_[sid];
+    if (!s.created) continue;
+    std::vector<int>* partitions = nullptr;
+    for (size_t p = 0; p < s.commit_node.size(); ++p) {
+      if (s.commit_node[p] != node) continue;
+      s.per_node[static_cast<size_t>(node)] -= s.commit_bytes[p];
+      s.commit_node[p] = -1;
+      s.commit_bytes[p] = 0;
+      if (partitions == nullptr) partitions = &lost[static_cast<int>(sid)];
+      partitions->push_back(static_cast<int>(p));
     }
-    assert(per_node[static_cast<size_t>(node)] == 0 &&
+    assert(s.per_node[static_cast<size_t>(node)] == 0 &&
            "per-node total out of sync with partition commits");
   }
   return lost;
@@ -55,23 +75,24 @@ std::map<int, std::vector<int>> ShuffleManager::on_node_lost(int node) {
 
 bool ShuffleManager::partition_committed(int shuffle_id,
                                          int partition) const noexcept {
-  const auto it = commits_.find(shuffle_id);
-  return it != commits_.end() &&
-         it->second.find(partition) != it->second.end();
+  if (!has_shuffle(shuffle_id) || partition < 0) return false;
+  const ShuffleState& s = shuffles_[static_cast<size_t>(shuffle_id)];
+  return static_cast<size_t>(partition) < s.commit_node.size() &&
+         s.commit_node[static_cast<size_t>(partition)] >= 0;
 }
 
 Bytes ShuffleManager::total_output(int shuffle_id) const noexcept {
-  const auto it = outputs_.find(shuffle_id);
-  if (it == outputs_.end()) return 0;
+  if (!has_shuffle(shuffle_id)) return 0;
+  const ShuffleState& s = shuffles_[static_cast<size_t>(shuffle_id)];
   Bytes total = 0;
-  for (Bytes b : it->second) total += b;
+  for (Bytes b : s.per_node) total += b;
   return total;
 }
 
 Bytes ShuffleManager::node_output(int shuffle_id, int node) const noexcept {
-  const auto it = outputs_.find(shuffle_id);
-  if (it == outputs_.end()) return 0;
-  return it->second[static_cast<size_t>(node)];
+  if (!has_shuffle(shuffle_id)) return 0;
+  const ShuffleState& s = shuffles_[static_cast<size_t>(shuffle_id)];
+  return s.per_node[static_cast<size_t>(node)];
 }
 
 }  // namespace saex::engine

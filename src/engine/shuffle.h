@@ -44,7 +44,12 @@ class ShuffleManager {
   Bytes total_output(int shuffle_id) const noexcept;
   Bytes node_output(int shuffle_id, int node) const noexcept;
   bool has_shuffle(int shuffle_id) const noexcept {
-    return outputs_.find(shuffle_id) != outputs_.end();
+    // True once any commit was ever registered — node loss may later remove
+    // every commit, but the shuffle itself stays known (as with the old
+    // outputs_ map, whose entry survived on_node_lost).
+    return shuffle_id >= 0 &&
+           static_cast<size_t>(shuffle_id) < shuffles_.size() &&
+           shuffles_[static_cast<size_t>(shuffle_id)].created;
   }
   bool partition_committed(int shuffle_id, int partition) const noexcept;
   /// Commits rejected because the partition was already committed (always 0
@@ -52,10 +57,20 @@ class ShuffleManager {
   int64_t duplicate_commits() const noexcept { return duplicate_commits_; }
 
  private:
+  // Shuffle ids are handed out densely from 0 (DagScheduler's counter), so
+  // everything is directly indexed: no map hops on the per-task commit and
+  // fetch-plan paths.
+  struct ShuffleState {
+    bool created = false;
+    std::vector<Bytes> per_node;       // committed bytes per node
+    std::vector<int32_t> commit_node;  // partition -> node (-1: uncommitted)
+    std::vector<Bytes> commit_bytes;   // partition -> committed copy's bytes
+  };
+
+  ShuffleState& state_for(int shuffle_id);
+
   int num_nodes_;
-  std::map<int, std::vector<Bytes>> outputs_;  // shuffle id -> per-node bytes
-  // shuffle id -> partition -> (node, bytes) of the committed copy.
-  std::map<int, std::map<int, std::pair<int, Bytes>>> commits_;
+  std::vector<ShuffleState> shuffles_;  // indexed by shuffle id
   int64_t duplicate_commits_ = 0;
 };
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 
 #include "common/log.h"
 #include "common/stats.h"
+#include "prof/profiler.h"
 
 namespace saex::engine {
 
@@ -16,6 +18,28 @@ TaskScheduler::TaskScheduler(sim::Simulation& sim,
   for (ExecutorRuntime* e : executors) {
     execs_.push_back(ExecState{e, e->pool_size(), 0, true});
   }
+  if (options_.metrics != nullptr) {
+    m_dispatched_ = options_.metrics->counter_handle("engine/tasks/dispatched");
+    m_finished_ = options_.metrics->counter_handle("engine/tasks/finished");
+    m_failed_ = options_.metrics->counter_handle("engine/tasks/failed");
+    m_speculative_ =
+        options_.metrics->counter_handle("engine/tasks/speculative");
+    m_resizes_ = options_.metrics->counter_handle("engine/executor_resizes");
+  }
+}
+
+void TaskScheduler::TaskSet::pending_remove(size_t task_idx) noexcept {
+  const auto it = std::lower_bound(pending.begin(), pending.end(),
+                                   static_cast<int32_t>(task_idx));
+  assert(it != pending.end() && *it == static_cast<int32_t>(task_idx));
+  pending.erase(it);
+}
+
+void TaskScheduler::TaskSet::pending_insert(size_t task_idx) {
+  const auto it = std::lower_bound(pending.begin(), pending.end(),
+                                   static_cast<int32_t>(task_idx));
+  assert(it == pending.end() || *it != static_cast<int32_t>(task_idx));
+  pending.insert(it, static_cast<int32_t>(task_idx));
 }
 
 void TaskScheduler::define_pool(PoolSpec spec) {
@@ -40,8 +64,8 @@ const PoolSpec& TaskScheduler::pool_spec(
 
 int TaskScheduler::pool_running(const std::string& name) const noexcept {
   int running = 0;
-  for (const auto& [id, set] : sets_) {
-    if (set.pool == name) running += set.running;
+  for (const auto& set : sets_) {
+    if (set->pool == name) running += set->running;
   }
   return running;
 }
@@ -52,10 +76,8 @@ int TaskScheduler::running_in_pool(const std::string& pool) const noexcept {
 
 int TaskScheduler::pending_task_count() const noexcept {
   int pending = 0;
-  for (const auto& [id, set] : sets_) {
-    for (const TaskState& st : set.state) {
-      if (!st.done && st.running_copies == 0) ++pending;
-    }
+  for (const auto& set : sets_) {
+    pending += static_cast<int>(set->pending.size());
   }
   return pending;
 }
@@ -107,19 +129,20 @@ void TaskScheduler::abort_set(uint64_t id) {
   set->failed = true;
   set->remaining = 0;
   for (TaskState& st : set->state) st.done = true;
+  set->pending.clear();
   // In-flight copies still drain; on_done fires once running hits zero.
   maybe_finish_set(*set);
 }
 
 std::vector<uint64_t> TaskScheduler::hold_sets_reading(int shuffle_id) {
   std::vector<uint64_t> held;
-  for (auto& [id, set] : sets_) {
-    if (set.failed) continue;  // already-held sets are still recorded: the
-                               // caller tracks holds per recovering shuffle
-    for (const int sid : set.stage.in_shuffle_ids) {
+  for (const auto& set : sets_) {
+    if (set->failed) continue;  // already-held sets are still recorded: the
+                                // caller tracks holds per recovering shuffle
+    for (const int sid : set->stage.in_shuffle_ids) {
       if (sid == shuffle_id) {
-        set.held = true;
-        held.push_back(id);
+        set->held = true;
+        held.push_back(set->id);
         break;
       }
     }
@@ -141,8 +164,18 @@ int TaskScheduler::active_executor_count() const noexcept {
 }
 
 TaskScheduler::TaskSet* TaskScheduler::find_set(uint64_t id) noexcept {
-  const auto it = sets_.find(id);
-  return it == sets_.end() ? nullptr : &it->second;
+  // sets_ is sorted by ascending id (monotone assignment).
+  const auto it = std::lower_bound(
+      sets_.begin(), sets_.end(), id,
+      [](const std::unique_ptr<TaskSet>& s, uint64_t v) { return s->id < v; });
+  return it == sets_.end() || (*it)->id != id ? nullptr : it->get();
+}
+
+void TaskScheduler::erase_set(uint64_t id) noexcept {
+  const auto it = std::lower_bound(
+      sets_.begin(), sets_.end(), id,
+      [](const std::unique_ptr<TaskSet>& s, uint64_t v) { return s->id < v; });
+  if (it != sets_.end() && (*it)->id == id) sets_.erase(it);
 }
 
 uint64_t TaskScheduler::submit_stage(const Stage& stage,
@@ -156,12 +189,21 @@ uint64_t TaskScheduler::submit_stage(const Stage& stage,
   set.stage = stage;
   set.tasks = std::move(tasks);
   set.state.assign(set.tasks.size(), TaskState{});
+  int max_partition = -1;
+  for (const TaskSpec& t : set.tasks) {
+    max_partition = std::max(max_partition, t.partition);
+  }
+  set.task_index.assign(static_cast<size_t>(max_partition + 1), -1);
+  set.pending.reserve(set.tasks.size());
   for (size_t i = 0; i < set.tasks.size(); ++i) {
-    set.task_index[set.tasks[i].partition] = i;
+    set.task_index[static_cast<size_t>(set.tasks[i].partition)] =
+        static_cast<int32_t>(i);
+    set.pending.push_back(static_cast<int32_t>(i));
   }
   set.remaining = set.tasks.size();
   set.result.num_tasks = static_cast<int>(set.tasks.size());
   set.result.submit_time = sim_.now();
+  set.exec_failures.assign(execs_.size(), 0);
   set.exec_blacklisted.assign(execs_.size(), false);
   set.on_done = std::move(on_done);
 
@@ -177,7 +219,7 @@ uint64_t TaskScheduler::submit_stage(const Stage& stage,
     return id;
   }
 
-  sets_.emplace(id, std::move(set));
+  sets_.push_back(std::make_unique<TaskSet>(std::move(set)));
   try_assign();
   schedule_speculation_check();
   return id;
@@ -221,9 +263,9 @@ void TaskScheduler::schedule_speculation_check() {
 
 int TaskScheduler::blacklisted_executors() const noexcept {
   std::vector<bool> blacklisted(execs_.size(), false);
-  for (const auto& [id, set] : sets_) {
+  for (const auto& set : sets_) {
     for (size_t e = 0; e < execs_.size(); ++e) {
-      if (set.exec_blacklisted[e]) blacklisted[e] = true;
+      if (set->exec_blacklisted[e]) blacklisted[e] = true;
     }
   }
   int n = 0;
@@ -231,21 +273,22 @@ int TaskScheduler::blacklisted_executors() const noexcept {
   return n;
 }
 
-std::vector<uint64_t> TaskScheduler::offer_order() const {
-  std::vector<uint64_t> order;
+const std::vector<TaskScheduler::TaskSet*>& TaskScheduler::offer_order() {
+  std::vector<TaskSet*>& order = offer_scratch_;
+  order.clear();
   order.reserve(sets_.size());
-  for (const auto& [id, set] : sets_) order.push_back(id);
-  if (sets_.size() < 2) return order;
+  for (const auto& set : sets_) order.push_back(set.get());
+  if (order.size() < 2) return order;
 
   // Pool running counts for the FAIR comparison.
   std::map<std::string, int> running;
   if (mode_ == SchedulingMode::kFair) {
-    for (const auto& [id, set] : sets_) running[set.pool] += set.running;
+    for (const auto& set : sets_) running[set->pool] += set->running;
   }
 
-  std::stable_sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
-    const TaskSet& sa = sets_.at(a);
-    const TaskSet& sb = sets_.at(b);
+  std::stable_sort(order.begin(), order.end(), [&](TaskSet* a, TaskSet* b) {
+    const TaskSet& sa = *a;
+    const TaskSet& sb = *b;
     if (mode_ == SchedulingMode::kFair && sa.pool != sb.pool) {
       // Spark's FairSchedulingAlgorithm over the two pools.
       const PoolSpec& pa = pool_spec(sa.pool);
@@ -288,9 +331,10 @@ std::optional<size_t> TaskScheduler::pick_task_for(TaskSet& set,
       sim_.now() - set.result.submit_time >= options_.locality_wait;
   std::optional<size_t> any;
   bool deferred = false;
-  for (size_t i = 0; i < set.tasks.size(); ++i) {
-    const TaskState& st = set.state[i];
-    if (st.done || st.running_copies > 0) continue;
+  // `pending` holds exactly the indices with !done && running_copies == 0,
+  // in ascending order — the same visit order as the full scan it replaces.
+  for (const int32_t idx : set.pending) {
+    const size_t i = static_cast<size_t>(idx);
     const auto& pref = set.tasks[i].preferred_nodes;
     if (pref.empty()) {
       if (!any) any = i;
@@ -340,6 +384,7 @@ std::optional<size_t> TaskScheduler::pick_task_for(TaskSet& set,
 }
 
 void TaskScheduler::try_assign() {
+  SAEX_PROF_SCOPE(kScheduler);
   if (sets_.empty()) return;
   bool progress = true;
   while (progress) {
@@ -349,8 +394,8 @@ void TaskScheduler::try_assign() {
       if (!es.active || es.assigned >= es.advertised) continue;
       // Offer the slot to task sets in FIFO/FAIR order; the order is
       // recomputed after every dispatch since running counts moved.
-      for (const uint64_t set_id : offer_order()) {
-        TaskSet& set = sets_.at(set_id);
+      for (TaskSet* set_ptr : offer_order()) {
+        TaskSet& set = *set_ptr;
         if (set.held || set.exec_blacklisted[e]) continue;
         const auto task = pick_task_for(set, e);
         if (!task) continue;
@@ -373,14 +418,20 @@ void TaskScheduler::dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
   }
 
   TaskState& st = set.state[task_idx];
-  if (st.running_copies == 0) st.launch_time = sim_.now();
+  if (st.running_copies == 0) {
+    st.launch_time = sim_.now();
+    set.pending_remove(task_idx);  // first copy: the task leaves the pending
+                                   // list until it fails back to zero copies
+  }
   ++st.running_copies;
   ++st.attempts;
   st.copy_execs.push_back(exec_idx);
   if (set.result.first_launch_time < 0.0) {
     set.result.first_launch_time = sim_.now();
   }
+  if (m_dispatched_) m_dispatched_.increment();
   if (speculative) {
+    if (m_speculative_) m_speculative_.increment();
     ++speculative_launches_;
     ++set.result.speculative_launches;
     if (options_.event_log != nullptr) {
@@ -430,7 +481,8 @@ void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
   TaskSet& set = *set_ptr;
   --set.running;
 
-  TaskState& st = set.state[set.task_index.at(spec.partition)];
+  const size_t task_idx = set.state_index(spec.partition);
+  TaskState& st = set.state[task_idx];
   --st.running_copies;
   if (const auto it = std::find(st.copy_execs.begin(), st.copy_execs.end(),
                                 exec_idx);
@@ -448,6 +500,7 @@ void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
 
   if (outcome.success) {
     st.done = true;
+    if (m_finished_) m_finished_.increment();
     const double duration = sim_.now() - st.launch_time;
     set.result.durations.push_back(duration);
     completed_durations_.push_back(duration);
@@ -465,6 +518,7 @@ void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
   // Decide whether the failure charges against spark.task.maxFailures.
   // Executor loss is never the task's fault; fetch failures are the
   // driver's call (it knows whether the source data is gone).
+  if (m_failed_) m_failed_.increment();
   bool charged = true;
   if (outcome.failure == TaskFailure::kExecutorLost) {
     ++executor_lost_failures_;
@@ -512,10 +566,12 @@ void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
     for (TaskState& other : set.state) {
       if (!other.done) other.done = true;
     }
+    set.pending.clear();
   }
   // else: attempt failed with budget left — the task is pending again
   // (running_copies just returned to 0) and try_assign re-launches it.
 
+  if (!st.done && st.running_copies == 0) set.pending_insert(task_idx);
   maybe_finish_set(set);
   try_assign();
 }
@@ -526,7 +582,7 @@ void TaskScheduler::maybe_finish_set(TaskSet& set) {
   set.result.finish_time = sim_.now();
   TaskSetResult result = std::move(set.result);
   TaskSetDone done = std::move(set.on_done);
-  sets_.erase(set.id);  // `set` is dangling from here on
+  erase_set(set.id);  // `set` is dangling from here on
   if (done) done(result);
 }
 
@@ -536,6 +592,7 @@ void TaskScheduler::on_executor_resized(int node_id, int new_size) {
       SAEX_TRACE("scheduler: executor {} advertised {} -> {}", node_id,
                  es.advertised, new_size);
       es.advertised = new_size;
+      if (m_resizes_) m_resizes_.increment();
       break;
     }
   }

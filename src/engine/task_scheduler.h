@@ -20,7 +20,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +29,7 @@
 #include "engine/event_log.h"
 #include "engine/executor_runtime.h"
 #include "engine/stage.h"
+#include "metrics/registry.h"
 #include "sim/simulation.h"
 
 namespace saex::engine {
@@ -75,6 +76,10 @@ class TaskScheduler {
     bool blacklist_enabled = false;
     int max_failed_tasks_per_executor = 2;
     EventLog* event_log = nullptr;
+    // Optional engine-level rollups (dispatched/finished/failed/speculative
+    // counts). Handles are resolved once at construction; a null registry
+    // costs nothing on the per-task path.
+    metrics::Registry* metrics = nullptr;
   };
 
   /// What the driver learns when a task set (one stage of one job) drains.
@@ -245,9 +250,13 @@ class TaskScheduler {
     Stage stage;  // owned copy: callers need not keep theirs alive
     std::vector<TaskSpec> tasks;
     std::vector<TaskState> state;
-    // partition -> index into tasks/state. Recovery sets carry a partition
-    // *subset*, so partition numbers cannot index state directly.
-    std::map<int, size_t> task_index;
+    // partition -> index into tasks/state, directly indexed by partition
+    // number (-1: not in this set). Recovery sets carry a partition *subset*,
+    // so partition numbers cannot index state directly.
+    std::vector<int32_t> task_index;
+    // Indices of pending tasks (!done, no running copy), ascending — the
+    // offer loop scans this instead of every task in the set.
+    std::vector<int32_t> pending;
     size_t remaining = 0;
     int running = 0;  // dispatched copies (incl. in-flight launch messages)
     bool failed = false;
@@ -255,14 +264,21 @@ class TaskScheduler {
     bool locality_timer_armed = false;
     TaskSetResult result;
     TaskSetDone on_done;
-    // Per-set blacklisting (spark.blacklist.stage.*).
-    std::map<size_t, int> exec_failures;
+    // Per-set blacklisting (spark.blacklist.stage.*), indexed by executor.
+    std::vector<int> exec_failures;
     std::vector<bool> exec_blacklisted;
+
+    size_t state_index(int partition) const noexcept {
+      return static_cast<size_t>(task_index[static_cast<size_t>(partition)]);
+    }
+    void pending_remove(size_t task_idx) noexcept;
+    void pending_insert(size_t task_idx);
   };
 
   TaskSet* find_set(uint64_t id) noexcept;
-  /// Task-set ids in slot-offer order under the current scheduling mode.
-  std::vector<uint64_t> offer_order() const;
+  /// In-flight task sets in slot-offer order under the current scheduling
+  /// mode; valid until the next submit/finish/erase.
+  const std::vector<TaskSet*>& offer_order();
   void try_assign();
   std::optional<size_t> pick_task_for(TaskSet& set, size_t exec_idx);
   void dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
@@ -270,6 +286,7 @@ class TaskScheduler {
   void on_task_finished(uint64_t set_id, const TaskSpec& spec, size_t exec_idx,
                         const TaskOutcome& outcome);
   void maybe_finish_set(TaskSet& set);
+  void erase_set(uint64_t id) noexcept;
   void schedule_speculation_check();
   const PoolSpec& pool_spec(const std::string& name) const noexcept;
   int pool_running(const std::string& name) const noexcept;
@@ -283,10 +300,21 @@ class TaskScheduler {
   FetchFailureHook fetch_hook_;
   TaskFinishHook task_finish_hook_;
 
-  // In-flight task sets, keyed by id (ids ascend in submission order).
-  std::map<uint64_t, TaskSet> sets_;
+  // In-flight task sets, sorted by ascending id (ids are handed out
+  // monotonically, so submission order keeps the vector sorted; find is a
+  // binary search). unique_ptr keeps TaskSet addresses stable across vector
+  // mutations while offers hold references.
+  std::vector<std::unique_ptr<TaskSet>> sets_;
+  std::vector<TaskSet*> offer_scratch_;  // reused by offer_order()
   uint64_t next_set_id_ = 1;
   bool speculation_timer_armed_ = false;
+
+  // Engine-level rollups (null handles when Options::metrics is unset).
+  metrics::CounterHandle m_dispatched_;
+  metrics::CounterHandle m_finished_;
+  metrics::CounterHandle m_failed_;
+  metrics::CounterHandle m_speculative_;
+  metrics::CounterHandle m_resizes_;
 
   // Legacy single-stage view (last run_stage / last finished set).
   std::vector<double> completed_durations_;

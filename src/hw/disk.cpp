@@ -1,8 +1,11 @@
 #include "hw/disk.h"
 
+#include "prof/profiler.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace saex::hw {
@@ -47,12 +50,11 @@ void Disk::set_speed_factor(double factor) {
   assert(factor > 0.0);
   advance_and_reschedule();  // settle in-flight work at the old rate
   speed_factor_ = factor;
+  cap_cache_.clear();  // memoized capacities embed the old factor
   advance_and_reschedule();  // recompute the next completion at the new rate
 }
 
-double Disk::capacity_eff(double kd) const noexcept {
-  if (kd <= 0.0) return 0.0;
-  if (kd < 1.0) kd = 1.0;  // a lone (even write-weighted) stream gets base bw
+double Disk::capacity_uncached(double kd) const noexcept {
   const double base = params_.base_bw * speed_factor_;
   if (params_.ssd_ramp > 0.0) {
     const double ramp = kd / (kd + params_.ssd_ramp);
@@ -67,12 +69,30 @@ double Disk::capacity_eff(double kd) const noexcept {
   return base * queue_gain / fragmentation;
 }
 
-double Disk::effective_streams() const noexcept {
-  double k = 0.0;
-  for (const auto& [id, tr] : transfers_) {
-    k += tr.is_write ? params_.write_stream_weight : 1.0;
+double Disk::capacity_eff(double kd) const noexcept {
+  if (kd <= 0.0) return 0.0;
+  if (kd < 1.0) kd = 1.0;  // a lone (even write-weighted) stream gets base bw
+  // On the hot path kd is reads + write_stream_weight*writes — with the
+  // default quarter weight, an exact multiple of 0.25 — so the std::pow in
+  // the HDD curve is memoized per quarter-stream step. Off-grid arguments
+  // (tests probing arbitrary k) fall through to the direct computation.
+  constexpr size_t kCacheMax = 16384;  // quarter-steps: up to 4096 streams
+  const double q = kd * 4.0;
+  const size_t idx = static_cast<size_t>(q);
+  if (static_cast<double>(idx) == q && idx < kCacheMax) {
+    if (idx >= cap_cache_.size()) cap_cache_.resize(idx + 1, -1.0);
+    double& slot = cap_cache_[idx];
+    if (slot < 0.0) slot = capacity_uncached(kd);
+    return slot;
   }
-  return k;
+  return capacity_uncached(kd);
+}
+
+double Disk::effective_streams() const noexcept {
+  // Exact for the default quarter write weight: both terms are dyadic, so
+  // this matches the old per-transfer summation bit for bit.
+  return static_cast<double>(read_streams_) +
+         params_.write_stream_weight * static_cast<double>(write_streams_);
 }
 
 double Disk::current_rate_per_transfer() const noexcept {
@@ -94,14 +114,15 @@ void Disk::submit(Bytes bytes, bool is_write, sim::Callback done,
                       (is_write ? params_.write_cost_factor : 1.0);
   // The fixed setup latency is modeled as a delay before joining the
   // processor-sharing pool (controller/syscall time; device is free).
-  const uint64_t id = next_transfer_id_++;
-  sim_.schedule_after(params_.latency, [this, id, work, bytes, is_write,
+  sim_.schedule_after(params_.latency, [this, work, bytes, is_write,
                                         done = std::move(done)]() mutable {
     advance_and_reschedule();  // settle other transfers up to 'now' first
-    transfers_.emplace(id, Transfer{work, bytes, is_write, std::move(done)});
+    transfers_.push_back(Transfer{work, is_write, std::move(done)});
     if (is_write) {
+      ++write_streams_;
       bytes_written_ += bytes;
     } else {
+      ++read_streams_;
       bytes_read_ += bytes;
     }
     busy_.set_active(sim_.now(), 1.0);
@@ -110,11 +131,12 @@ void Disk::submit(Bytes bytes, bool is_write, sim::Callback done,
 }
 
 void Disk::advance_and_reschedule() {
+  SAEX_PROF_SCOPE(kDisk);
   const double now = sim_.now();
   const double dt = now - last_advance_;
   const double rate = current_rate_per_transfer();
   if (dt > 0.0 && rate > 0.0) {
-    for (auto& [id, tr] : transfers_) tr.remaining_work -= rate * dt;
+    for (auto& tr : transfers_) tr.remaining_work -= rate * dt;
   }
   last_advance_ = now;
 
@@ -123,28 +145,36 @@ void Disk::advance_and_reschedule() {
     pending_completion_ = sim::kInvalidEvent;
   }
 
-  // Complete everything that has (numerically) finished. The threshold is
-  // half a byte: below that, scheduling another wake-up can produce a dt too
-  // small to advance the clock at large sim times (t + dt == t in doubles),
-  // which would spin the event loop forever.
-  std::vector<sim::Callback> finished;
-  for (auto it = transfers_.begin(); it != transfers_.end();) {
-    if (it->second.remaining_work <= 0.5) {
-      finished.push_back(std::move(it->second.done));
-      it = transfers_.erase(it);
+  // Complete everything that has (numerically) finished, compacting the
+  // survivors in place, and find their minimum remaining work in the same
+  // pass. The threshold is half a byte: below that, scheduling another
+  // wake-up can produce a dt too small to advance the clock at large sim
+  // times (t + dt == t in doubles), which would spin the event loop forever.
+  std::vector<sim::Callback> finished = std::move(finished_scratch_);
+  finished.clear();
+  double min_work = std::numeric_limits<double>::infinity();
+  size_t out = 0;
+  for (size_t i = 0; i < transfers_.size(); ++i) {
+    Transfer& tr = transfers_[i];
+    if (tr.remaining_work <= 0.5) {
+      if (tr.is_write) {
+        --write_streams_;
+      } else {
+        --read_streams_;
+      }
+      finished.push_back(std::move(tr.done));
     } else {
-      ++it;
+      min_work = std::min(min_work, tr.remaining_work);
+      if (out != i) transfers_[out] = std::move(tr);
+      ++out;
     }
   }
+  transfers_.resize(out);
 
   if (transfers_.empty()) {
     busy_.set_active(now, 0.0);
   } else {
     const double next_rate = current_rate_per_transfer();
-    double min_work = transfers_.begin()->second.remaining_work;
-    for (const auto& [id, tr] : transfers_) {
-      min_work = std::min(min_work, tr.remaining_work);
-    }
     // Floor the wake-up so time strictly advances even for sub-byte tails.
     const double dt = std::max(min_work / next_rate, 1e-9);
     pending_completion_ = sim_.schedule_after(dt, [this] {
@@ -153,8 +183,11 @@ void Disk::advance_and_reschedule() {
     });
   }
 
-  // Callbacks run last: they may submit new transfers reentrantly.
+  // Callbacks run last: they may submit new transfers reentrantly (a nested
+  // advance sees an empty finished_scratch_ and allocates its own buffer).
   for (auto& fn : finished) fn();
+  finished.clear();
+  finished_scratch_ = std::move(finished);
 }
 
 }  // namespace saex::hw

@@ -1,5 +1,7 @@
 #include "hw/network.h"
 
+#include "prof/profiler.h"
+
 #include <algorithm>
 #include <cassert>
 #include <limits>
@@ -14,27 +16,13 @@ Network::Network(sim::Simulation& sim, int num_nodes, NetworkParams params)
       down_count_(static_cast<size_t>(num_nodes), 0),
       open_(static_cast<size_t>(num_nodes),
             std::vector<int>(static_cast<size_t>(num_nodes), 0)),
+      open_count_(static_cast<size_t>(num_nodes), 0),
+      open_senders_(static_cast<size_t>(num_nodes), 0),
       sent_(static_cast<size_t>(num_nodes), 0) {}
 
-void Network::register_fetch(NodeId src, NodeId dst) {
-  ++open_[static_cast<size_t>(dst)][static_cast<size_t>(src)];
-}
+void Network::register_fetch(NodeId src, NodeId dst) { open_inc(src, dst); }
 
-void Network::unregister_fetch(NodeId src, NodeId dst) {
-  --open_[static_cast<size_t>(dst)][static_cast<size_t>(src)];
-}
-
-int Network::fetches_to(NodeId dst) const noexcept {
-  int total = 0;
-  for (const int n : open_[static_cast<size_t>(dst)]) total += n;
-  return total;
-}
-
-int Network::senders_to(NodeId dst) const noexcept {
-  int senders = 0;
-  for (const int n : open_[static_cast<size_t>(dst)]) senders += n > 0 ? 1 : 0;
-  return senders;
-}
+void Network::unregister_fetch(NodeId src, NodeId dst) { open_dec(src, dst); }
 
 double Network::down_capacity_eff(int senders, int open_requests) const noexcept {
   const double src_excess = std::max(
@@ -65,14 +53,13 @@ void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
     sim_.schedule_after(params_.latency, std::move(done));
     return;
   }
-  const uint64_t id = next_flow_id_++;
-  sim_.schedule_after(params_.latency, [this, id, src, dst, bytes,
+  sim_.schedule_after(params_.latency, [this, src, dst, bytes,
                                         done = std::move(done)]() mutable {
     advance_and_reschedule();
-    flows_.emplace(id, Flow{src, dst, static_cast<double>(bytes), std::move(done)});
+    flows_.push_back(Flow{src, dst, static_cast<double>(bytes), std::move(done)});
     ++up_count_[static_cast<size_t>(src)];
     ++down_count_[static_cast<size_t>(dst)];
-    ++open_[static_cast<size_t>(dst)][static_cast<size_t>(src)];
+    open_inc(src, dst);
     sent_[static_cast<size_t>(src)] += bytes;
     total_bytes_ += bytes;
     advance_and_reschedule();
@@ -80,10 +67,14 @@ void Network::transfer(NodeId src, NodeId dst, Bytes bytes,
 }
 
 void Network::advance_and_reschedule() {
+  SAEX_PROF_SCOPE(kNetwork);
   const double now = sim_.now();
   const double dt = now - last_advance_;
   if (dt > 0.0) {
-    for (auto& [id, f] : flows_) f.remaining -= flow_rate(f) * dt;
+    // Settle every flow at the rates implied by the *current* counts; the
+    // completion sweep below must not decrement counts until all flows have
+    // been settled, or later flows would settle at post-completion rates.
+    for (auto& f : flows_) f.remaining -= flow_rate(f) * dt;
   }
   last_advance_ = now;
 
@@ -94,22 +85,28 @@ void Network::advance_and_reschedule() {
 
   // Half-byte completion threshold + floored wake-up: see Disk for why
   // sub-byte tails must not schedule zero-advance events.
-  std::vector<sim::Callback> finished;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.remaining <= 0.5) {
-      --up_count_[static_cast<size_t>(it->second.src)];
-      --down_count_[static_cast<size_t>(it->second.dst)];
-      --open_[static_cast<size_t>(it->second.dst)][static_cast<size_t>(it->second.src)];
-      finished.push_back(std::move(it->second.done));
-      it = flows_.erase(it);
+  std::vector<sim::Callback> finished = std::move(finished_scratch_);
+  finished.clear();
+  size_t out = 0;
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    Flow& f = flows_[i];
+    if (f.remaining <= 0.5) {
+      --up_count_[static_cast<size_t>(f.src)];
+      --down_count_[static_cast<size_t>(f.dst)];
+      open_dec(f.src, f.dst);
+      finished.push_back(std::move(f.done));
     } else {
-      ++it;
+      if (out != i) flows_[out] = std::move(f);
+      ++out;
     }
   }
+  flows_.resize(out);
 
   if (!flows_.empty()) {
+    // Survivor rates reflect the post-completion counts, so this pass must
+    // run after the sweep above.
     double min_time = std::numeric_limits<double>::infinity();
-    for (const auto& [id, f] : flows_) {
+    for (const auto& f : flows_) {
       min_time = std::min(min_time, f.remaining / flow_rate(f));
     }
     pending_completion_ = sim_.schedule_after(std::max(min_time, 1e-9), [this] {
@@ -119,6 +116,8 @@ void Network::advance_and_reschedule() {
   }
 
   for (auto& fn : finished) fn();
+  finished.clear();
+  finished_scratch_ = std::move(finished);
 }
 
 }  // namespace saex::hw

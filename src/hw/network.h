@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -61,8 +60,12 @@ class Network {
   /// just in-flight byte transfers.
   void register_fetch(NodeId src, NodeId dst);
   void unregister_fetch(NodeId src, NodeId dst);
-  int fetches_to(NodeId dst) const noexcept;
-  int senders_to(NodeId dst) const noexcept;
+  int fetches_to(NodeId dst) const noexcept {
+    return open_count_[static_cast<size_t>(dst)];
+  }
+  int senders_to(NodeId dst) const noexcept {
+    return open_senders_[static_cast<size_t>(dst)];
+  }
 
   int flows_from(NodeId n) const noexcept { return up_count_[static_cast<size_t>(n)]; }
   int flows_to(NodeId n) const noexcept { return down_count_[static_cast<size_t>(n)]; }
@@ -96,15 +99,33 @@ class Network {
 
   double flow_rate(const Flow& f) const noexcept;
   void advance_and_reschedule();
+  void open_inc(NodeId src, NodeId dst) noexcept {
+    if (open_[static_cast<size_t>(dst)][static_cast<size_t>(src)]++ == 0) {
+      ++open_senders_[static_cast<size_t>(dst)];
+    }
+    ++open_count_[static_cast<size_t>(dst)];
+  }
+  void open_dec(NodeId src, NodeId dst) noexcept {
+    if (--open_[static_cast<size_t>(dst)][static_cast<size_t>(src)] == 0) {
+      --open_senders_[static_cast<size_t>(dst)];
+    }
+    --open_count_[static_cast<size_t>(dst)];
+  }
 
   sim::Simulation& sim_;
   NetworkParams params_;
-  std::unordered_map<uint64_t, Flow> flows_;
-  uint64_t next_flow_id_ = 1;
+  // Active flows in start (FIFO) order; settled with contiguous scans, like
+  // Disk::transfers_.
+  std::vector<Flow> flows_;
   std::vector<int> up_count_;
   std::vector<int> down_count_;
   // open_[dst][src]: open requests (registered fetches + active transfers).
+  // The per-dst rollups (total requests + distinct senders) are maintained
+  // incrementally so flow_rate() is O(1), not O(nodes).
   std::vector<std::vector<int>> open_;
+  std::vector<int> open_count_;    // Σ_src open_[dst][src]
+  std::vector<int> open_senders_;  // #{src : open_[dst][src] > 0}
+  std::vector<sim::Callback> finished_scratch_;
   std::vector<Bytes> sent_;
   Bytes total_bytes_ = 0;
   int64_t dropped_fetches_ = 0;

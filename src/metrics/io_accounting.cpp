@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <cassert>
 
+#include "prof/profiler.h"
+
 namespace saex::metrics {
 
 void UtilizationTracker::set_active(double t, double active) {
+  SAEX_PROF_SCOPE(kMetrics);
   assert(t + 1e-12 >= last_t_ && "time went backwards");
   t = std::max(t, last_t_);
+  // Same instant, same level: the new change point would be an exact
+  // duplicate of the last one (identical t, integral, active), so queries
+  // are unaffected by skipping it. Bursts of transfers joining an already
+  // busy device at one timestamp otherwise grow history_ by one point each.
+  if (t == last_t_ && active == active_) return;
   integral_ += active_ * (t - last_t_);
   last_t_ = t;
   active_ = active;

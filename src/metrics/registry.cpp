@@ -2,31 +2,37 @@
 
 namespace saex::metrics {
 
-Counter& Registry::counter(std::string_view name) {
-  const auto it = counters_.find(name);
-  if (it != counters_.end()) return it->second;
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+MetricId Registry::counter_id(std::string_view name) {
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return MetricId(it->second);
+  const uint32_t index = static_cast<uint32_t>(counter_slots_.size());
+  counter_slots_.emplace_back();
+  counter_index_.emplace(std::string(name), index);
+  return MetricId(index);
 }
 
-Gauge& Registry::gauge(std::string_view name) {
-  const auto it = gauges_.find(name);
-  if (it != gauges_.end()) return it->second;
-  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+MetricId Registry::gauge_id(std::string_view name) {
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return MetricId(it->second);
+  const uint32_t index = static_cast<uint32_t>(gauge_slots_.size());
+  gauge_slots_.emplace_back();
+  gauge_index_.emplace(std::string(name), index);
+  return MetricId(index);
 }
 
 double Registry::counter_value(std::string_view name) const noexcept {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0.0 : it->second.value();
+  const auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? 0.0 : counter_slots_[it->second].value();
 }
 
 double Registry::gauge_value(std::string_view name) const noexcept {
-  const auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0.0 : it->second.value();
+  const auto it = gauge_index_.find(name);
+  return it == gauge_index_.end() ? 0.0 : gauge_slots_[it->second].value();
 }
 
 std::vector<std::string> Registry::counter_names(std::string_view prefix) const {
   std::vector<std::string> names;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, index] : counter_index_) {
     if (name.rfind(prefix, 0) == 0) names.push_back(name);
   }
   return names;

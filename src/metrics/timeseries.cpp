@@ -7,10 +7,23 @@ namespace saex::metrics {
 
 std::vector<double> TimeSeries::resample(double t0, double t1, double dt) const {
   std::vector<double> out;
+  if (!std::isfinite(t0) || !std::isfinite(t1) || !std::isfinite(dt)) {
+    return out;
+  }
   if (dt <= 0 || t1 <= t0) return out;
+  // Bin count is computed up front and the loop indexes `t0 + i*dt` rather
+  // than accumulating `t += dt`: with a dt below t0's ulp the accumulated
+  // form never advances and loops forever. The cap bounds memory when the
+  // caller passes a pathologically small (but positive) dt.
+  const double raw_bins = std::ceil((t1 - t0) / dt);
+  const size_t n = raw_bins < static_cast<double>(kMaxResampleBins)
+                       ? static_cast<size_t>(raw_bins)
+                       : kMaxResampleBins;
+  out.reserve(n);
   double value = points_.empty() ? 0.0 : points_.front().second;
   size_t idx = 0;
-  for (double t = t0; t < t1; t += dt) {
+  for (size_t i = 0; i < n; ++i) {
+    const double t = t0 + static_cast<double>(i) * dt;
     while (idx < points_.size() && points_[idx].first <= t) {
       value = points_[idx].second;
       ++idx;
@@ -21,7 +34,7 @@ std::vector<double> TimeSeries::resample(double t0, double t1, double dt) const 
 }
 
 void RateSeries::add(double t, Bytes bytes) {
-  if (t < 0) t = 0;
+  if (!(t >= 0)) t = 0;  // also catches NaN
   const size_t bin = static_cast<size_t>(t / bin_);
   if (bin >= bytes_per_bin_.size()) bytes_per_bin_.resize(bin + 1, 0.0);
   bytes_per_bin_[bin] += static_cast<double>(bytes);

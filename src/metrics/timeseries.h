@@ -19,7 +19,13 @@ class TimeSeries {
   bool empty() const noexcept { return points_.empty(); }
 
   /// Values resampled onto fixed bins [t0, t0+dt), last-value-holds.
+  /// Returns an empty vector for non-finite or non-positive dt and for
+  /// empty/reversed spans; the bin count is capped at kMaxResampleBins so a
+  /// tiny-but-positive dt cannot request unbounded memory.
   std::vector<double> resample(double t0, double t1, double dt) const;
+
+  /// Upper bound on bins produced by a single resample() call.
+  static constexpr size_t kMaxResampleBins = size_t{1} << 24;
 
  private:
   std::vector<std::pair<double, double>> points_;
@@ -30,7 +36,15 @@ class TimeSeries {
 /// curves are produced.
 class RateSeries {
  public:
-  explicit RateSeries(double bin_seconds = 1.0) : bin_(bin_seconds) {}
+  /// bin_seconds must be finite and positive; anything else (0, negative,
+  /// NaN, inf) falls back to the 1.0s default so add()/rates() can never
+  /// divide by zero or index off a garbage bin number.
+  explicit RateSeries(double bin_seconds = 1.0)
+      : bin_(bin_seconds > 0 && bin_seconds <= kMaxBinSeconds ? bin_seconds
+                                                              : 1.0) {}
+
+  /// Largest accepted bin width (~31 years); also rejects +inf.
+  static constexpr double kMaxBinSeconds = 1e9;
 
   void add(double t, Bytes bytes);
 

@@ -37,7 +37,13 @@ ExecutorAllocationManager::ExecutorAllocationManager(
       has_work_(std::move(has_work)),
       metrics_(metrics),
       event_log_(event_log),
-      idle_since_(static_cast<size_t>(num_executors), -1.0) {}
+      idle_since_(static_cast<size_t>(num_executors), -1.0) {
+  if (metrics_ != nullptr) {
+    active_executors_ = metrics_->gauge_handle("serve/alloc/active_executors");
+    granted_ = metrics_->counter_handle("serve/alloc/granted");
+    released_ = metrics_->counter_handle("serve/alloc/released");
+  }
+}
 
 void ExecutorAllocationManager::start() {
   if (!options_.enabled) return;
@@ -49,9 +55,8 @@ void ExecutorAllocationManager::start() {
   for (int n = initial; n < num_executors_; ++n) {
     scheduler_.set_executor_active(n, false);
   }
-  if (metrics_ != nullptr) {
-    metrics_->gauge("serve/alloc/active_executors")
-        .set(scheduler_.active_executor_count());
+  if (active_executors_) {
+    active_executors_.set(scheduler_.active_executor_count());
   }
 }
 
@@ -106,9 +111,8 @@ void ExecutorAllocationManager::tick() {
     }
   }
 
-  if (metrics_ != nullptr) {
-    metrics_->gauge("serve/alloc/active_executors")
-        .set(scheduler_.active_executor_count());
+  if (active_executors_) {
+    active_executors_.set(scheduler_.active_executor_count());
   }
   // Keep evaluating while the server has work, or while idle executors above
   // the floor remain to be released (Spark keeps releasing after the last
@@ -131,7 +135,7 @@ void ExecutorAllocationManager::grant(int count) {
     ++granted_total_;
     --count;
     SAEX_DEBUG("dynalloc: granted executor {} at {:.3f}s", n, sim_.now());
-    if (metrics_ != nullptr) metrics_->counter("serve/alloc/granted").increment();
+    if (granted_) granted_.increment();
     if (event_log_ != nullptr) {
       event_log_->record(engine::Event{engine::EventKind::kExecutorGranted,
                                        sim_.now(), -1, -1, -1, n,
@@ -146,7 +150,7 @@ void ExecutorAllocationManager::release(int node_id) {
   idle_since_[static_cast<size_t>(node_id)] = -1.0;
   ++released_total_;
   SAEX_DEBUG("dynalloc: released executor {} at {:.3f}s", node_id, sim_.now());
-  if (metrics_ != nullptr) metrics_->counter("serve/alloc/released").increment();
+  if (released_) released_.increment();
   if (event_log_ != nullptr) {
     event_log_->record(engine::Event{engine::EventKind::kExecutorReleased,
                                      sim_.now(), -1, -1, -1, node_id,

@@ -74,6 +74,11 @@ class ExecutorAllocationManager {
   std::function<bool()> has_work_;
   metrics::Registry* metrics_;
   engine::EventLog* event_log_;
+  // Resolved once at construction (null handles when metrics_ == nullptr);
+  // tick()/grant()/release() run on the simulation clock and stay lookup-free.
+  metrics::GaugeHandle active_executors_;
+  metrics::CounterHandle granted_;
+  metrics::CounterHandle released_;
 
   bool timer_armed_ = false;
   double backlog_since_ = -1.0;  // <0: no current backlog

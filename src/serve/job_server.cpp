@@ -92,9 +92,19 @@ double JobRecord::queue_wait() const noexcept {
 
 JobServer::JobServer(engine::SparkContext& ctx, JobServerOptions options)
     : ctx_(&ctx), options_(std::move(options)) {
+  jobs_submitted_ = metrics_.counter_handle("serve/jobs/submitted");
+  jobs_rejected_ = metrics_.counter_handle("serve/jobs/rejected");
+  jobs_queued_ = metrics_.counter_handle("serve/jobs/queued");
+  jobs_finished_ = metrics_.counter_handle("serve/jobs/finished");
+  jobs_failed_ = metrics_.counter_handle("serve/jobs/failed");
+  queue_length_ = metrics_.gauge_handle("serve/queue_length");
+
   engine::TaskScheduler& sched = ctx_->scheduler();
   sched.set_scheduling_mode(options_.mode);
-  for (const engine::PoolSpec& pool : options_.pools) sched.define_pool(pool);
+  for (const engine::PoolSpec& pool : options_.pools) {
+    sched.define_pool(pool);
+    pool_rollups(pool.name);  // resolve the rollup handles up front
+  }
 
   // An idle executor picking up work restarts its policy's climb at c_min —
   // both between jobs and right after a dynamic-allocation grant.
@@ -115,6 +125,18 @@ JobServer::JobServer(engine::SparkContext& ctx)
 
 bool JobServer::has_work() const noexcept {
   return !running_.empty() || !queue_.empty();
+}
+
+JobServer::PoolRollups& JobServer::pool_rollups(const std::string& pool) {
+  const auto it = pool_rollups_.find(pool);
+  if (it != pool_rollups_.end()) return it->second;
+  PoolRollups handles;
+  handles.jobs = metrics_.counter_handle(strfmt::format("serve/pool/{}/jobs", pool));
+  handles.slot_seconds =
+      metrics_.counter_handle(strfmt::format("serve/pool/{}/slot_seconds", pool));
+  handles.queue_wait =
+      metrics_.counter_handle(strfmt::format("serve/pool/{}/queue_wait", pool));
+  return pool_rollups_.emplace(pool, handles).first->second;
 }
 
 int JobServer::client_load(const std::string& client) const noexcept {
@@ -155,14 +177,14 @@ Admission JobServer::submit(std::string name, std::string client,
   ctx_->event_log().record(engine::Event{
       engine::EventKind::kJobSubmitted, now, sid, -1, -1, -1,
       static_cast<int64_t>(admission), rec.name});
-  metrics_.counter("serve/jobs/submitted").increment();
+  jobs_submitted_.increment();
   records_.push_back(std::move(rec));
 
   if (!admitted(admission)) {
     ctx_->event_log().record(engine::Event{
         engine::EventKind::kJobRejected, now, sid, -1, -1, -1,
         static_cast<int64_t>(admission), records_.back().name});
-    metrics_.counter("serve/jobs/rejected").increment();
+    jobs_rejected_.increment();
     SAEX_DEBUG("serve: submission {} '{}' {}", sid, records_.back().name,
                admission_name(admission));
     return admission;
@@ -171,8 +193,8 @@ Admission JobServer::submit(std::string name, std::string client,
   builders_.emplace(sid, std::move(build));
   if (admission == Admission::kQueued) {
     queue_.push_back(sid);
-    metrics_.counter("serve/jobs/queued").increment();
-    metrics_.gauge("serve/queue_length").set(static_cast<double>(queue_.size()));
+    jobs_queued_.increment();
+    queue_length_.set(static_cast<double>(queue_.size()));
   } else {
     start_job(sid);
   }
@@ -209,17 +231,16 @@ void JobServer::on_job_finished(int submission_id, engine::JobReport report) {
   rec.report = std::move(report);
   running_.erase(std::find(running_.begin(), running_.end(), submission_id));
 
-  metrics_.counter("serve/jobs/finished").increment();
-  if (rec.failed) metrics_.counter("serve/jobs/failed").increment();
+  jobs_finished_.increment();
+  if (rec.failed) jobs_failed_.increment();
   double slot_seconds = 0.0;
   for (const engine::StageStats& s : rec.report.stages) {
     slot_seconds += s.task_seconds;
   }
-  metrics_.counter(strfmt::format("serve/pool/{}/jobs", rec.pool)).increment();
-  metrics_.counter(strfmt::format("serve/pool/{}/slot_seconds", rec.pool))
-      .add(slot_seconds);
-  metrics_.counter(strfmt::format("serve/pool/{}/queue_wait", rec.pool))
-      .add(rec.queue_wait());
+  PoolRollups& pool = pool_rollups(rec.pool);
+  pool.jobs.increment();
+  pool.slot_seconds.add(slot_seconds);
+  pool.queue_wait.add(rec.queue_wait());
 
   while (!queue_.empty() &&
          static_cast<int>(running_.size()) < options_.max_concurrent_jobs) {
@@ -227,7 +248,7 @@ void JobServer::on_job_finished(int submission_id, engine::JobReport report) {
     queue_.pop_front();
     start_job(next);
   }
-  metrics_.gauge("serve/queue_length").set(static_cast<double>(queue_.size()));
+  queue_length_.set(static_cast<double>(queue_.size()));
 }
 
 ServeReport JobServer::replay(const std::vector<TraceJob>& trace,

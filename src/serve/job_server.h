@@ -157,14 +157,33 @@ class JobServer {
   const JobServerOptions& options() const noexcept { return options_; }
 
  private:
+  /// The three per-pool rollup counters, resolved once per pool (declared
+  /// pools at construction, undeclared ones on their first finished job)
+  /// instead of formatting a "serve/pool/<name>/..." key on every finish.
+  struct PoolRollups {
+    metrics::CounterHandle jobs;
+    metrics::CounterHandle slot_seconds;
+    metrics::CounterHandle queue_wait;
+  };
+
   void start_job(int submission_id);
   void on_job_finished(int submission_id, engine::JobReport report);
   bool has_work() const noexcept;
   int client_load(const std::string& client) const noexcept;
+  PoolRollups& pool_rollups(const std::string& pool);
 
   engine::SparkContext* ctx_;
   JobServerOptions options_;
   metrics::Registry metrics_;
+  // Handles into metrics_, resolved once in the constructor; the submit/
+  // finish paths run per job and must not pay a map lookup per event.
+  metrics::CounterHandle jobs_submitted_;
+  metrics::CounterHandle jobs_rejected_;
+  metrics::CounterHandle jobs_queued_;
+  metrics::CounterHandle jobs_finished_;
+  metrics::CounterHandle jobs_failed_;
+  metrics::GaugeHandle queue_length_;
+  std::map<std::string, PoolRollups, std::less<>> pool_rollups_;
   std::unique_ptr<ExecutorAllocationManager> allocation_;
 
   std::vector<JobRecord> records_;      // by submission id

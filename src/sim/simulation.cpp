@@ -1,5 +1,7 @@
 #include "sim/simulation.h"
 
+#include "prof/profiler.h"
+
 #include <algorithm>
 #include <cassert>
 #include <utility>
@@ -77,7 +79,10 @@ bool Simulation::fire_next() {
     release_slot(key.slot);
     --live_events_;
     ++processed_;
-    cb();
+    {
+      SAEX_PROF_SCOPE(kSim);
+      cb();
+    }
     return true;
   }
   return false;

@@ -31,7 +31,7 @@ TEST_F(DagTest, PlanNodesHaveUniqueIdsAndParents) {
   const Rdd b = a.map("m", {0.1, 0.5});
   const Rdd c = b.filter("f", 0.5);
   EXPECT_NE(a.node()->id, b.node()->id);
-  EXPECT_EQ(b.node()->parents.front().get(), a.node().get());
+  EXPECT_EQ(b.node()->parents.front(), a.node());
   EXPECT_EQ(c.node()->kind, OpKind::kNarrow);
   EXPECT_DOUBLE_EQ(c.node()->cost.output_ratio, 0.5);
 }

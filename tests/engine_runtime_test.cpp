@@ -2,6 +2,11 @@
 // cache spill) and driver-side task scheduler.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "engine/executor_runtime.h"
 #include "engine/shuffle.h"
 #include "engine/task_scheduler.h"
@@ -44,6 +49,127 @@ TEST(ShuffleManager, UnknownShuffleGivesEmptyPlan) {
   const auto plan = sm.fetch_plan(9, 0, 4);
   for (const Bytes b : plan) EXPECT_EQ(b, 0);
   EXPECT_EQ(sm.total_output(9), 0);
+}
+
+// Reference model of the pre-flattening ShuffleManager: nested maps keyed by
+// shuffle -> node byte totals and shuffle -> partition commit records. The
+// flat array implementation must be observably identical to it.
+struct MapShuffleRef {
+  explicit MapShuffleRef(int nodes) : num_nodes(nodes) {}
+
+  bool register_map_output(int shuffle, int node, int partition, Bytes bytes) {
+    auto& commits = commits_by_shuffle[shuffle];
+    outputs.try_emplace(shuffle);  // shuffle becomes known even on duplicates
+    if (commits.count(partition)) return false;
+    commits[partition] = {node, bytes};
+    outputs[shuffle][node] += bytes;
+    return true;
+  }
+
+  std::map<int, std::vector<int>> on_node_lost(int node) {
+    std::map<int, std::vector<int>> lost;
+    for (auto& [shuffle, commits] : commits_by_shuffle) {
+      for (auto it = commits.begin(); it != commits.end();) {
+        if (it->second.first == node) {
+          outputs[shuffle][node] -= it->second.second;
+          lost[shuffle].push_back(it->first);
+          it = commits.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return lost;
+  }
+
+  Bytes node_output(int shuffle, int node) const {
+    auto it = outputs.find(shuffle);
+    if (it == outputs.end()) return 0;
+    auto nit = it->second.find(node);
+    return nit == it->second.end() ? 0 : nit->second;
+  }
+
+  bool partition_committed(int shuffle, int partition) const {
+    auto it = commits_by_shuffle.find(shuffle);
+    return it != commits_by_shuffle.end() && it->second.count(partition) > 0;
+  }
+
+  int num_nodes;
+  std::map<int, std::map<int, Bytes>> outputs;
+  std::map<int, std::map<int, std::pair<int, Bytes>>> commits_by_shuffle;
+};
+
+TEST(ShuffleManager, OnNodeLostMatchesMapReferenceModel) {
+  const int kNodes = 4;
+  const int kShuffles = 3;
+  const int kPartitions = 16;
+  ShuffleManager sm(kNodes);
+  MapShuffleRef ref(kNodes);
+
+  // Deterministic pseudo-random commit pattern, including duplicate commits
+  // (speculative losers) that both implementations must reject identically.
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int i = 0; i < 200; ++i) {
+    const int shuffle = static_cast<int>(next() % kShuffles);
+    const int node = static_cast<int>(next() % kNodes);
+    const int partition = static_cast<int>(next() % kPartitions);
+    const Bytes bytes = static_cast<Bytes>(next() % 10000 + 1);
+    EXPECT_EQ(sm.register_map_output(shuffle, node, partition, bytes),
+              ref.register_map_output(shuffle, node, partition, bytes));
+  }
+
+  auto expect_equivalent = [&] {
+    for (int s = 0; s < kShuffles; ++s) {
+      for (int n = 0; n < kNodes; ++n) {
+        EXPECT_EQ(sm.node_output(s, n), ref.node_output(s, n))
+            << "shuffle " << s << " node " << n;
+      }
+      for (int p = 0; p < kPartitions; ++p) {
+        EXPECT_EQ(sm.partition_committed(s, p), ref.partition_committed(s, p))
+            << "shuffle " << s << " partition " << p;
+      }
+    }
+  };
+  expect_equivalent();
+
+  // Lose a node: same lost {shuffle -> partitions} map (values sorted the
+  // same way), same surviving state, and the shuffle itself stays known.
+  EXPECT_EQ(sm.on_node_lost(2), ref.on_node_lost(2));
+  expect_equivalent();
+  for (int s = 0; s < kShuffles; ++s) EXPECT_TRUE(sm.has_shuffle(s));
+
+  // Recommit a few of the lost partitions elsewhere, then lose another node.
+  for (int p = 0; p < kPartitions; p += 3) {
+    const Bytes bytes = static_cast<Bytes>(next() % 5000 + 1);
+    EXPECT_EQ(sm.register_map_output(1, 3, p, bytes),
+              ref.register_map_output(1, 3, p, bytes));
+  }
+  EXPECT_EQ(sm.on_node_lost(3), ref.on_node_lost(3));
+  expect_equivalent();
+
+  // Losing a node with no commits reports nothing lost in both models.
+  EXPECT_TRUE(sm.on_node_lost(2).empty());
+  EXPECT_TRUE(ref.on_node_lost(2).empty());
+}
+
+TEST(ShuffleManager, ShuffleStaysKnownAfterLosingEveryCommit) {
+  ShuffleManager sm(2);
+  sm.register_map_output(0, 1, 0, 500);
+  const auto lost = sm.on_node_lost(1);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost.at(0), std::vector<int>{0});
+  EXPECT_TRUE(sm.has_shuffle(0));
+  EXPECT_EQ(sm.total_output(0), 0);
+  EXPECT_FALSE(sm.partition_committed(0, 0));
+  // The partition can be recommitted after the loss.
+  EXPECT_TRUE(sm.register_map_output(0, 0, 0, 500));
+  EXPECT_EQ(sm.node_output(0, 0), 500);
 }
 
 // ---------- ExecutorRuntime ----------

@@ -1,6 +1,11 @@
 #include "metrics/histogram.h"
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/format.h"
 #include "metrics/io_accounting.h"
 #include "metrics/registry.h"
 #include "metrics/timeseries.h"
@@ -32,6 +37,74 @@ TEST(Registry, CounterNamesFilterByPrefix) {
   EXPECT_EQ(r.counter_names().size(), 3u);
 }
 
+TEST(Registry, HandleStaysValidAcrossRegistryGrowth) {
+  Registry r;
+  CounterHandle first = r.counter_handle("first");
+  Counter* cell_before = &r.counter("first");
+  // Force many slot allocations; deque-backed storage must not move cells.
+  for (int i = 0; i < 4096; ++i) {
+    r.counter(strfmt::format("grow/{}", i)).increment();
+  }
+  EXPECT_EQ(&r.counter("first"), cell_before);
+  first.add(2.0);
+  first.increment();
+  EXPECT_DOUBLE_EQ(r.counter_value("first"), 3.0);
+  EXPECT_EQ(r.num_counters(), 4097u);
+}
+
+TEST(Registry, StringAndHandleApisAliasTheSameCell) {
+  Registry r;
+  r.counter("jobs").add(2.0);
+  CounterHandle h = r.counter_handle("jobs");
+  h.increment();
+  r.counter("jobs").increment();
+  EXPECT_DOUBLE_EQ(h.value(), 4.0);
+  EXPECT_DOUBLE_EQ(r.counter_value("jobs"), 4.0);
+
+  GaugeHandle g = r.gauge_handle("depth");
+  r.gauge("depth").set(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.set(9.0);
+  EXPECT_DOUBLE_EQ(r.gauge_value("depth"), 9.0);
+}
+
+TEST(Registry, MetricIdIsStableAndReusedOnReintern) {
+  Registry r;
+  const MetricId a = r.counter_id("x");
+  r.counter_id("y");
+  EXPECT_TRUE(a == r.counter_id("x"));
+  EXPECT_FALSE(a == r.counter_id("y"));
+  r.counter_at(a).increment();
+  EXPECT_DOUBLE_EQ(r.counter_value("x"), 1.0);
+}
+
+TEST(Registry, DefaultHandleIsNull) {
+  CounterHandle c;
+  GaugeHandle g;
+  EXPECT_FALSE(static_cast<bool>(c));
+  EXPECT_FALSE(static_cast<bool>(g));
+  Registry r;
+  EXPECT_TRUE(static_cast<bool>(r.counter_handle("a")));
+  EXPECT_TRUE(static_cast<bool>(r.gauge_handle("b")));
+}
+
+TEST(Registry, PrefixQueriesUnchangedByHandleResolution) {
+  Registry r;
+  // Interleave handle resolution with string-keyed creation in non-sorted
+  // order; counter_names() must stay sorted and prefix-filtered exactly as
+  // before the handle API existed.
+  r.counter_handle("node1/disk/read");
+  r.counter("node0/disk/write");
+  r.counter_handle("node0/disk/read");
+  r.counter("node1/net/tx");
+  const auto all = r.counter_names();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  EXPECT_EQ(r.counter_names("node0/").size(), 2u);
+  EXPECT_EQ(r.counter_names("node1/").size(), 2u);
+  EXPECT_EQ(r.counter_names("node1/net/").size(), 1u);
+}
+
 TEST(TimeSeries, ResampleHoldsLastValue) {
   TimeSeries ts;
   ts.record(0.0, 1.0);
@@ -60,6 +133,64 @@ TEST(RateSeries, EmptyMeanIsZero) {
   RateSeries rs;
   EXPECT_DOUBLE_EQ(rs.mean_rate(), 0.0);
   EXPECT_TRUE(rs.rates().empty());
+}
+
+TEST(TimeSeries, ResampleRejectsDegenerateArguments) {
+  TimeSeries ts;
+  ts.record(0.0, 1.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(ts.resample(0.0, 10.0, 0.0).empty());
+  EXPECT_TRUE(ts.resample(0.0, 10.0, -1.0).empty());
+  EXPECT_TRUE(ts.resample(10.0, 10.0, 1.0).empty());
+  EXPECT_TRUE(ts.resample(10.0, 0.0, 1.0).empty());
+  EXPECT_TRUE(ts.resample(nan, 10.0, 1.0).empty());
+  EXPECT_TRUE(ts.resample(0.0, nan, 1.0).empty());
+  EXPECT_TRUE(ts.resample(0.0, 10.0, nan).empty());
+  EXPECT_TRUE(ts.resample(0.0, inf, 1.0).empty());
+  EXPECT_TRUE(ts.resample(0.0, 10.0, inf).empty());
+}
+
+TEST(TimeSeries, ResampleTerminatesWhenDtIsBelowUlp) {
+  // With the old accumulating loop (t += dt), a dt smaller than t0's ulp
+  // never advances t and the call spins forever. The index-based loop is
+  // bounded by construction.
+  TimeSeries ts;
+  ts.record(0.0, 5.0);
+  const double t0 = 1e12;
+  const double t1 = std::nextafter(t0, std::numeric_limits<double>::max());
+  const auto v = ts.resample(t0, t1, 1e-9);
+  ASSERT_FALSE(v.empty());
+  EXPECT_LE(v.size(), TimeSeries::kMaxResampleBins);
+  EXPECT_DOUBLE_EQ(v.front(), 5.0);
+  EXPECT_DOUBLE_EQ(v.back(), 5.0);
+}
+
+TEST(TimeSeries, ResampleCapsPathologicalBinCounts) {
+  TimeSeries ts;
+  ts.record(0.0, 1.0);
+  // 1e9 seconds at nanosecond bins would be 1e18 bins; the cap keeps the
+  // request bounded instead of exhausting memory.
+  const auto v = ts.resample(0.0, 1e9, 1e-9);
+  EXPECT_EQ(v.size(), TimeSeries::kMaxResampleBins);
+}
+
+TEST(RateSeries, NonPositiveBinFallsBackToDefault) {
+  EXPECT_DOUBLE_EQ(RateSeries(0.0).bin_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(RateSeries(-2.5).bin_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      RateSeries(std::numeric_limits<double>::quiet_NaN()).bin_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      RateSeries(std::numeric_limits<double>::infinity()).bin_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(RateSeries(0.5).bin_seconds(), 0.5);
+
+  // A sanitized series still bins correctly (1.0s bins).
+  RateSeries rs(0.0);
+  rs.add(0.25, 100);
+  rs.add(std::numeric_limits<double>::quiet_NaN(), 50);  // clamped to t=0
+  const auto rates = rs.rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 150.0);
 }
 
 TEST(IoAccounting, AccumulatesMonotonically) {

@@ -1,0 +1,113 @@
+// Subsystem profiler: disabled scopes record nothing, enabled scopes
+// attribute inclusive/exclusive time correctly, and turning the profiler on
+// does not perturb simulation results (wall-clock only, no sim-time hooks).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/context.h"
+#include "prof/profiler.h"
+
+namespace saex::prof {
+namespace {
+
+// The profiler is process-global; every test starts from a clean slate.
+struct ProfilerFixture : ::testing::Test {
+  void SetUp() override {
+    Profiler::set_enabled(false);
+    Profiler::reset();
+  }
+  void TearDown() override {
+    Profiler::set_enabled(false);
+    Profiler::reset();
+  }
+};
+
+using Profiler_ = ProfilerFixture;
+
+TEST_F(Profiler_, DisabledScopesRecordNothing) {
+  ASSERT_FALSE(Profiler::enabled());
+  for (int i = 0; i < 100; ++i) {
+    SAEX_PROF_SCOPE(kDisk);
+  }
+  EXPECT_EQ(Profiler::total_calls(Subsystem::kDisk), 0u);
+  EXPECT_TRUE(Profiler::report().empty());
+}
+
+TEST_F(Profiler_, EnabledScopesCountCalls) {
+  Profiler::set_enabled(true);
+  for (int i = 0; i < 7; ++i) {
+    SAEX_PROF_SCOPE(kNetwork);
+  }
+  EXPECT_EQ(Profiler::total_calls(Subsystem::kNetwork), 7u);
+  const std::string table = Profiler::report();
+  EXPECT_NE(table.find("hw/network"), std::string::npos);
+}
+
+TEST_F(Profiler_, NestedScopesSplitExclusiveTime) {
+  Profiler::set_enabled(true);
+  {
+    SAEX_PROF_SCOPE(kSim);
+    {
+      SAEX_PROF_SCOPE(kDisk);
+      // Burn a little real time inside the child so the attribution is
+      // observable even on coarse clocks.
+      volatile double sink = 0;
+      for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+    }
+  }
+  EXPECT_EQ(Profiler::total_calls(Subsystem::kSim), 1u);
+  EXPECT_EQ(Profiler::total_calls(Subsystem::kDisk), 1u);
+  // The child's time is charged to kDisk, not double-counted in kSim's
+  // exclusive column.
+  EXPECT_GT(Profiler::exclusive_ns(Subsystem::kDisk), 0u);
+}
+
+TEST_F(Profiler_, RecordAndResetRoundTrip) {
+  Profiler::record(Subsystem::kOther, 1000, 600);
+  Profiler::record(Subsystem::kOther, 500, 500, 3);
+  EXPECT_EQ(Profiler::total_calls(Subsystem::kOther), 4u);
+  EXPECT_EQ(Profiler::exclusive_ns(Subsystem::kOther), 1100u);
+  EXPECT_NE(Profiler::report().find("other"), std::string::npos);
+  Profiler::reset();
+  EXPECT_EQ(Profiler::total_calls(Subsystem::kOther), 0u);
+  EXPECT_TRUE(Profiler::report().empty());
+}
+
+TEST_F(Profiler_, SubsystemNamesCoverEnum) {
+  for (int i = 0; i < static_cast<int>(Subsystem::kCount); ++i) {
+    const char* name = subsystem_name(static_cast<Subsystem>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+// Profiling reads wall clocks only — enabling it must not change what the
+// simulation computes.
+TEST_F(Profiler_, EnablingDoesNotPerturbJobReports) {
+  auto run_once = [] {
+    hw::ClusterSpec spec = hw::ClusterSpec::das5(4);
+    spec.seed = 42;
+    hw::Cluster cluster(spec);
+    conf::Config config;
+    config.set("spark.default.parallelism", "16");
+    engine::SparkContext ctx(cluster, std::move(config));
+    ctx.dfs().load_input("/in", gib(1), 4);
+    const engine::Rdd out = ctx.text_file("/in")
+                                .reduce_by_key("g", {0.02, 1.0}, 1.0)
+                                .count();
+    const engine::JobReport r = ctx.run_job(out, "prof-identity");
+    return std::make_tuple(r.total_runtime, r.events_processed,
+                           r.total_disk_bytes, r.stages.size());
+  };
+  const auto off = run_once();
+  Profiler::set_enabled(true);
+  const auto on = run_once();
+  EXPECT_EQ(off, on);  // bitwise-identical runtime, events, bytes, stages
+  // ...and the profiled run actually recorded the instrumented subsystems.
+  EXPECT_GT(Profiler::total_calls(Subsystem::kSim), 0u);
+  EXPECT_GT(Profiler::total_calls(Subsystem::kScheduler), 0u);
+}
+
+}  // namespace
+}  // namespace saex::prof

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Wall-clock regression guard for the BENCH_*.json perf trajectories.
+
+Usage: check_bench.py <smoke.json> <snapshot.json> [slack]
+
+Compares a fresh --smoke run against the checked-in full-run snapshot by
+events/sec (throughput is roughly scale-invariant between the smoke and full
+problem sizes; wall seconds are not). For every scenario present in both
+files, the smoke throughput must be at least snapshot/slack. The default
+slack of 3x absorbs CI-runner noise and the smoke sizes' worse fixed-cost
+amortization while still catching order-of-magnitude regressions (e.g. an
+accidentally reintroduced per-event allocation).
+
+Exit code 0 = all scenarios within budget, 1 = regression, 2 = bad input.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {row["name"]: row for row in doc.get("benchmarks", [])}
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        print(__doc__)
+        return 2
+    smoke_path, snapshot_path = sys.argv[1], sys.argv[2]
+    slack = float(sys.argv[3]) if len(sys.argv) == 4 else 3.0
+
+    smoke = load(smoke_path)
+    snapshot = load(snapshot_path)
+    if not smoke or not snapshot:
+        print(f"check_bench: empty benchmark list in {smoke_path} or {snapshot_path}")
+        return 2
+
+    failed = False
+    for name, snap in sorted(snapshot.items()):
+        if name not in smoke:
+            print(f"check_bench: FAIL {name}: missing from {smoke_path}")
+            failed = True
+            continue
+        budget = snap["events_per_sec"] / slack
+        got = smoke[name]["events_per_sec"]
+        verdict = "ok" if got >= budget else "FAIL"
+        print(
+            f"check_bench: {verdict:4} {name}: {got:,.0f} events/s "
+            f"(budget {budget:,.0f} = snapshot {snap['events_per_sec']:,.0f} / {slack:g})"
+        )
+        if got < budget:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,8 @@
    has a matching bench/<name>.cpp.
 4. Module freshness: every module docs/ARCHITECTURE.md bolds as
    **`src/<name>/`** exists, and every directory under src/ is documented.
-5. Kernel-bench sync: BENCH_kernel.json parses and every scenario it
-   records is discussed in docs/PERFORMANCE.md.
+5. Bench-snapshot sync: BENCH_kernel.json and BENCH_engine.json parse and
+   every scenario they record is discussed in docs/PERFORMANCE.md.
 6. Test-count agreement: the test count README.md claims matches the one
    EXPERIMENTS.md records.
 
@@ -105,25 +105,33 @@ def check_architecture_modules():
         fail(f"docs/ARCHITECTURE.md: src/{m}/ exists but has no module paragraph")
 
 
-def check_kernel_bench():
-    """BENCH_kernel.json (checked-in kernel_perf snapshot) must stay in sync
-    with docs/PERFORMANCE.md: every scenario it records is discussed there."""
+def check_bench_snapshot(json_name, bench_binary):
+    """A checked-in BENCH_*.json snapshot must stay in sync with
+    docs/PERFORMANCE.md: every scenario it records is discussed there."""
     import json
 
-    path = os.path.join(ROOT, "BENCH_kernel.json")
+    path = os.path.join(ROOT, json_name)
     if not os.path.exists(path):
-        fail("BENCH_kernel.json: missing (run ./build/bench/kernel_perf --json BENCH_kernel.json)")
+        fail(f"{json_name}: missing (run ./build/bench/{bench_binary} --json {json_name})")
         return
     try:
         data = json.loads(read(path))
     except ValueError as e:
-        fail(f"BENCH_kernel.json: invalid JSON ({e})")
+        fail(f"{json_name}: invalid JSON ({e})")
         return
     doc = read(os.path.join(ROOT, "docs/PERFORMANCE.md"))
     for entry in data.get("benchmarks", []):
         name = entry.get("name", "")
         if f"`{name}`" not in doc:
-            fail(f"docs/PERFORMANCE.md: BENCH_kernel.json scenario `{name}` is undocumented")
+            fail(f"docs/PERFORMANCE.md: {json_name} scenario `{name}` is undocumented")
+
+
+def check_kernel_bench():
+    check_bench_snapshot("BENCH_kernel.json", "kernel_perf")
+
+
+def check_engine_bench():
+    check_bench_snapshot("BENCH_engine.json", "engine_perf")
 
 
 def check_test_count():
@@ -148,6 +156,7 @@ def main():
     check_bench_references()
     check_architecture_modules()
     check_kernel_bench()
+    check_engine_bench()
     check_test_count()
     if failures:
         print(f"\n{len(failures)} documentation check(s) failed")

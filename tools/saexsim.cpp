@@ -21,6 +21,7 @@
 
 #include "common/format.h"
 #include "common/log.h"
+#include "prof/profiler.h"
 #include "harness/harness.h"
 #include "serve/job_server.h"
 #include "workloads/workloads.h"
@@ -60,6 +61,7 @@ struct Args {
   std::string trace_path;
   bool list = false;
   bool help = false;
+  bool profile = false;
   // Harness parallelism for multi-run modes (policy sweep). In the serve
   // subcommand --jobs means trace length instead (kept for compatibility).
   int par_jobs = 1;
@@ -106,6 +108,9 @@ void usage() {
       "                      threads (0 = all cores); results are identical\n"
       "                      to the serial run. Sweep eventlog/trace files\n"
       "                      get a .<threads> suffix per run.\n"
+      "  --profile           record per-subsystem wall time; print the\n"
+      "                      profiler table after the run (SAEX_PROFILE=1\n"
+      "                      in the environment does the same)\n"
       "  --verbose           INFO-level engine logging\n"
       "\n"
       "saexsim serve — multi-tenant job server replaying an arrival trace\n"
@@ -201,6 +206,8 @@ std::optional<Args> parse(int argc, char** argv) {
       args.dynalloc = true;
     } else if (a == "--jobs-table") {
       args.jobs_table = true;
+    } else if (a == "--profile") {
+      args.profile = true;
     } else if (a == "--verbose") {
       log::set_level(log::Level::kInfo);
     } else if (a == "--list") {
@@ -436,9 +443,11 @@ int run_serve(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  prof::Profiler::init_from_env();
   const auto parsed = parse(argc, argv);
   if (!parsed) return 2;
   const Args& args = *parsed;
+  if (args.profile) prof::Profiler::set_enabled(true);
   if (args.help) {
     usage();
     return 0;
@@ -472,7 +481,11 @@ int main(int argc, char** argv) {
                    args.mode.c_str(), kModeChoices);
       return 2;
     }
-    return run_serve(args);
+    const int rc = run_serve(args);
+    if (prof::Profiler::enabled()) {
+      std::printf("\n%s", prof::Profiler::report().c_str());
+    }
+    return rc;
   }
 
   const auto spec = find_workload(args.workload, args.size_gib);
@@ -483,12 +496,20 @@ int main(int argc, char** argv) {
   }
 
   if (args.policy == "sweep") {
-    return run_sweep(args, *spec);
+    const int rc = run_sweep(args, *spec);
+    if (prof::Profiler::enabled()) {
+      std::printf("\n%s", prof::Profiler::report().c_str());
+    }
+    return rc;
   }
   if (!serve_policy_ok) {
     std::fprintf(stderr, "unknown policy '%s' (valid: %s)\n",
                  args.policy.c_str(), kPolicyChoices);
     return 2;
   }
-  return run_once(args, *spec, args.policy, args.io_threads);
+  const int rc = run_once(args, *spec, args.policy, args.io_threads);
+  if (prof::Profiler::enabled()) {
+    std::printf("\n%s", prof::Profiler::report().c_str());
+  }
+  return rc;
 }
