@@ -385,6 +385,23 @@ void define_adaptive_extension(Registry& r) {
   r.define({"saex.fault.fetchFailProb", c, V::kDouble, "0",
             "Probability an individual remote shuffle fetch is dropped "
             "(transient network fault); the attempt fails and is retried."});
+  r.define({"saex.storage.policy", c, V::kString, "none",
+            "Per-node BlockManager eviction policy: none (no active "
+            "eviction; an overflowing write spills its own tail) | lru | "
+            "clock | s3fifo | tinylfu."});
+  r.define({"saex.storage.memory", c, V::kBytes, "0",
+            "Per-node storage budget override; 0 derives it from "
+            "spark.memory.fraction x spark.memory.storageFraction (or "
+            "spark.storage.memoryFraction under spark.memory.useLegacyMode) "
+            "x node memory."});
+  r.define({"saex.storage.spillOnEvict", c, V::kBool, "true",
+            "Evicted blocks spill to the node's disk (charged to the "
+            "simulated device); false drops them, forcing lineage "
+            "recompute on the next read."});
+  r.define({"saex.storage.shuffleLocality", c, V::kBool, "false",
+            "Cache-locality-aware scheduling for reduce tasks: prefer the "
+            "node holding the largest share of a task's shuffle fetch plan "
+            "(delay scheduling falls back after spark.locality.wait)."});
 }
 
 Registry build_registry() {

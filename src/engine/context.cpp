@@ -67,10 +67,37 @@ SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
   env.dfs = dfs_.get();
   env.shuffles = shuffles_.get();
   env.caches = caches_.get();
-  env.storage_budget = static_cast<Bytes>(
-      static_cast<double>(cluster.spec().memory_per_node) *
-      config_.get_double("spark.memory.fraction") *
-      config_.get_double("spark.memory.storageFraction"));
+
+  // Per-node storage budget: an explicit saex.storage.memory override wins;
+  // otherwise derive it from the (previously dormant) spark.memory.* /
+  // spark.storage.* knobs, honoring the legacy-mode switch.
+  Bytes storage_budget = config_.get_bytes("saex.storage.memory");
+  if (storage_budget == 0) {
+    const double mem =
+        static_cast<double>(cluster.spec().memory_per_node);
+    storage_budget = static_cast<Bytes>(
+        config_.get_bool("spark.memory.useLegacyMode")
+            ? mem * config_.get_double("spark.storage.memoryFraction")
+            : mem * config_.get_double("spark.memory.fraction") *
+                  config_.get_double("spark.memory.storageFraction"));
+  }
+  env.storage_budget = storage_budget;
+
+  storage::BlockManager::Options bm_options;
+  bm_options.memory_budget = storage_budget;
+  bm_options.policy = config_.get_string("saex.storage.policy");
+  bm_options.spill_on_evict = config_.get_bool("saex.storage.spillOnEvict");
+  if (!storage::is_valid_eviction_policy(bm_options.policy)) {
+    throw conf::ConfigError(strfmt::format(
+        "unknown saex.storage.policy '{}' (valid: none, lru, clock, s3fifo, "
+        "tinylfu)",
+        bm_options.policy));
+  }
+  storage_ = std::make_unique<storage::StorageManager>(
+      cluster.size(), bm_options, &metrics_);
+  env.storage = storage_.get();
+  shuffle_locality_ = config_.get_bool("saex.storage.shuffleLocality");
+  m_recomputes_ = metrics_.counter_handle("storage/recomputes");
   env.task_failure_prob = config_.get_double("saex.sim.taskFailureProb");
   env.flaky_node = static_cast<int>(config_.get_int("saex.sim.flakyNode"));
   env.flaky_node_failure_prob =
@@ -111,9 +138,10 @@ SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
   scheduler_ = std::make_unique<TaskScheduler>(cluster.sim(), raw,
                                                sched_options);
   scheduler_->set_fetch_failure_hook(
-      [this](uint64_t set_id, const Stage&, int shuffle_id, int src_node,
-             const TaskSpec&) {
-        return on_fetch_failure(set_id, shuffle_id, src_node);
+      [this](uint64_t set_id, const Stage& stage, int shuffle_id, int src_node,
+             const TaskSpec& spec) {
+        return on_fetch_failure(set_id, shuffle_id, src_node,
+                                stage.in_cache_id, spec.partition);
       });
   scheduler_->set_task_finish_hook([this](int64_t finished) {
     if (fault_plan_) fault_plan_->notify_task_finished(finished);
@@ -184,13 +212,29 @@ std::vector<TaskSpec> SparkContext::make_tasks(const Stage& stage) const {
       }
       case StageSource::kShuffle: {
         Bytes total = 0;
+        std::vector<Bytes> per_node(static_cast<size_t>(cluster_->size()), 0);
         for (const int sid : stage.in_shuffle_ids) {
-          for (const Bytes b :
-               shuffles_->fetch_plan(sid, p, stage.num_tasks)) {
-            total += b;
+          const std::vector<Bytes> plan =
+              shuffles_->fetch_plan(sid, p, stage.num_tasks);
+          for (size_t n = 0; n < plan.size(); ++n) {
+            total += plan[n];
+            per_node[n] += plan[n];
           }
         }
         t.input_bytes = total;
+        // Cache-locality-aware placement (saex.storage.shuffleLocality):
+        // prefer the node whose block manager holds the largest share of
+        // this task's fetch plan; delay scheduling (spark.locality.wait)
+        // falls back to any node if the preferred one stays busy.
+        if (shuffle_locality_ && total > 0) {
+          size_t best = 0;
+          for (size_t n = 1; n < per_node.size(); ++n) {
+            if (per_node[n] > per_node[best]) best = n;
+          }
+          if (per_node[best] > 0) {
+            t.preferred_nodes = {static_cast<int>(best)};
+          }
+        }
         break;
       }
       case StageSource::kCached: {
@@ -251,14 +295,32 @@ void SparkContext::record_shuffle_producer(const Stage& stage) {
   if (stage.sink == StageSink::kShuffleWrite && stage.out_shuffle_id >= 0) {
     shuffle_producers_.insert_or_assign(stage.out_shuffle_id, stage);
   }
+  // Cache lineage: remember who materializes each cache so partitions
+  // dropped by eviction can be recomputed instead of aborting the job.
+  if (stage.cache_out_id >= 0) {
+    cache_producers_.insert_or_assign(stage.cache_out_id, stage);
+  }
 }
 
 FetchFailureAction SparkContext::on_fetch_failure(uint64_t set_id,
                                                   int shuffle_id,
-                                                  int src_node) {
+                                                  int src_node, int cache_id,
+                                                  int partition) {
   if (shuffle_id < 0) {
-    // Cached partition on a dead executor: no lineage to rebuild it from,
-    // so the failure is charged and the retry budget bounds the job.
+    // Cached data. A partition dropped by eviction (owner still alive) has
+    // lineage: park the set and recompute it. A partition lost with its
+    // executor keeps the PR 2 semantics — charged, so the retry budget
+    // bounds the job.
+    if (cache_id >= 0 && caches_->has(cache_id) &&
+        cache_producers_.count(cache_id) > 0 &&
+        caches_->partition(cache_id, partition).dropped) {
+      cache_held_sets_[cache_id].push_back(set_id);
+      const auto it = recovering_caches_.find(cache_id);
+      if (it == recovering_caches_.end() || it->second == 0) {
+        recover_cache(cache_id, dropped_cache_partitions(cache_id));
+      }
+      return FetchFailureAction::kHold;
+    }
     return FetchFailureAction::kCharge;
   }
   if (fault_state_->node_alive(src_node)) {
@@ -360,6 +422,99 @@ bool SparkContext::input_recovering(const Stage& stage) const {
 }
 
 // ---------------------------------------------------------------------------
+// Evicted-block recompute: cache partitions dropped by the BlockManager
+// (saex.storage.spillOnEvict=false) are rebuilt by resubmitting the
+// producing stage for exactly the dropped partitions, mirroring the shuffle
+// lineage path. Consumer sets that trip over a dropped partition are parked
+// (kHold) and released when the rebuild lands. The recompute is one level
+// deep: a producer whose own cached input was dropped as well is not
+// recursively recovered (as in Spark, deep miss chains surface as retries).
+// ---------------------------------------------------------------------------
+
+std::vector<int> SparkContext::dropped_cache_partitions(int cache_id) const {
+  std::vector<int> dropped;
+  const auto it = dag_->caches().find(cache_id);
+  if (it == dag_->caches().end()) return dropped;
+  for (int p = 0; p < it->second.partitions; ++p) {
+    if (caches_->partition(cache_id, p).dropped) dropped.push_back(p);
+  }
+  return dropped;
+}
+
+bool SparkContext::cache_recovering(const Stage& stage) const {
+  return stage.source == StageSource::kCached &&
+         recovering_caches_.count(stage.in_cache_id) > 0;
+}
+
+void SparkContext::maybe_recover_cache(const Stage& stage) {
+  if (stage.source != StageSource::kCached) return;
+  if (recovering_caches_.count(stage.in_cache_id) > 0) return;
+  const std::vector<int> dropped =
+      dropped_cache_partitions(stage.in_cache_id);
+  if (dropped.empty()) return;
+  recover_cache(stage.in_cache_id, dropped);
+}
+
+void SparkContext::recover_cache(int cache_id,
+                                 const std::vector<int>& partitions) {
+  if (partitions.empty()) return;
+  const auto it = cache_producers_.find(cache_id);
+  if (it == cache_producers_.end()) {
+    SAEX_WARN("cache {} dropped {} partitions but has no recorded producer",
+              cache_id, partitions.size());
+    return;
+  }
+  const Stage& producer = it->second;
+  ++recovering_caches_[cache_id];
+  if (m_recomputes_) m_recomputes_.add(static_cast<double>(partitions.size()));
+  SAEX_WARN(
+      "resubmitting stage {} '{}' for {} evicted partitions of cache {}",
+      producer.ordinal, producer.name, partitions.size(), cache_id);
+  event_log_.record(Event{EventKind::kStageResubmitted, cluster_->sim().now(),
+                          -1, producer.ordinal, -1, -1,
+                          static_cast<int64_t>(partitions.size()),
+                          producer.name});
+
+  std::vector<TaskSpec> all = make_tasks(producer);
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(partitions.size());
+  for (const int p : partitions) {
+    tasks.push_back(all[static_cast<size_t>(p)]);
+  }
+  // job_id -1: the rebuild outranks the work waiting on it under FIFO.
+  scheduler_->submit_stage(
+      producer, std::move(tasks), /*job_id=*/-1, "default",
+      [this, cache_id](const TaskScheduler::TaskSetResult& result) {
+        on_cache_recovery_done(cache_id, result.failed);
+      });
+}
+
+void SparkContext::on_cache_recovery_done(int cache_id, bool failed) {
+  const auto it = recovering_caches_.find(cache_id);
+  assert(it != recovering_caches_.end() &&
+         "recovery finished for unknown cache");
+  if (--it->second > 0) return;
+  recovering_caches_.erase(it);
+
+  std::vector<uint64_t> held;
+  if (const auto h = cache_held_sets_.find(cache_id);
+      h != cache_held_sets_.end()) {
+    held = std::move(h->second);
+    cache_held_sets_.erase(h);
+  }
+  std::sort(held.begin(), held.end());
+  held.erase(std::unique(held.begin(), held.end()), held.end());
+  if (failed) {
+    SAEX_WARN("recompute of cache {} failed; aborting dependents", cache_id);
+    for (const uint64_t id : held) scheduler_->abort_set(id);
+    return;
+  }
+  for (const uint64_t id : held) scheduler_->hold_set(id, false);
+  // Stages deferred because their cached input was rebuilding can go now.
+  for (auto& [job_id, run] : jobs_) submit_ready_stages(*run);
+}
+
+// ---------------------------------------------------------------------------
 // Concurrent (event-driven) job submission — the saex::serve path.
 //
 // Instead of run_job()'s sequential stage loop, a JobRun tracks how many
@@ -449,8 +604,11 @@ void SparkContext::submit_ready_stages(JobRun& run) {
       continue;
     }
     // A stage fetching from a shuffle under lineage recovery would only
-    // fail and park; defer it until on_recovery_done resubmits.
+    // fail and park; defer it until on_recovery_done resubmits. Same for a
+    // cached input whose dropped partitions are being recomputed.
     if (input_recovering(stage)) continue;
+    maybe_recover_cache(stage);
+    if (cache_recovering(stage)) continue;
     run.submitted.insert(stage.uid);
     submit_stage_of(run, stage);
   }
@@ -648,7 +806,10 @@ JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {
   for (Stage& stage : plan.stages) {
     // A mid-stage executor kill may have left lineage recovery in flight;
     // a consumer stage must not plan its fetches until the rebuild lands.
-    while (input_recovering(stage)) {
+    // Likewise a cached input with eviction-dropped partitions is rebuilt
+    // before the reader launches (rather than parking every task on a miss).
+    maybe_recover_cache(stage);
+    while (input_recovering(stage) || cache_recovering(stage)) {
       if (!sim.step()) {
         throw std::runtime_error(strfmt::format(
             "stage {} deadlocked waiting for lineage recovery",

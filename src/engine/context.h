@@ -127,6 +127,17 @@ class SparkContext {
     return static_cast<int>(recovering_.size());
   }
 
+  // --- storage layer -------------------------------------------------------
+
+  /// Per-node BlockManagers (saex.storage.*): budget, eviction policy,
+  /// hit/miss/spill/evict counters.
+  storage::StorageManager& storage() noexcept { return *storage_; }
+  const storage::StorageManager& storage() const noexcept { return *storage_; }
+  /// Caches whose dropped partitions are being recomputed right now.
+  int recovering_caches() const noexcept {
+    return static_cast<int>(recovering_caches_.size());
+  }
+
  private:
   struct JobRun;
 
@@ -139,19 +150,31 @@ class SparkContext {
   void maybe_finish_job(JobRun& run);
 
   FetchFailureAction on_fetch_failure(uint64_t set_id, int shuffle_id,
-                                      int src_node);
+                                      int src_node, int cache_id,
+                                      int partition);
   void record_shuffle_producer(const Stage& stage);
   void recover_shuffle(int shuffle_id, const std::vector<int>& partitions);
   void on_recovery_done(int shuffle_id, bool failed);
   bool input_recovering(const Stage& stage) const;
+
+  // Lineage recompute for cache partitions dropped by eviction
+  // (saex.storage.spillOnEvict=false). Mirrors the shuffle recovery path:
+  // the producing stage is resubmitted for exactly the dropped partitions
+  // at job_id -1 while consumer sets are parked.
+  std::vector<int> dropped_cache_partitions(int cache_id) const;
+  void maybe_recover_cache(const Stage& stage);
+  bool cache_recovering(const Stage& stage) const;
+  void recover_cache(int cache_id, const std::vector<int>& partitions);
+  void on_cache_recovery_done(int cache_id, bool failed);
 
   hw::Cluster* cluster_;
   conf::Config config_;
   std::unique_ptr<dfs::Dfs> dfs_;
   std::unique_ptr<ShuffleManager> shuffles_;
   std::unique_ptr<CacheRegistry> caches_;
+  metrics::Registry metrics_;  // before storage_/scheduler_: handles point in
+  std::unique_ptr<storage::StorageManager> storage_;
   std::vector<std::unique_ptr<ExecutorRuntime>> executors_;
-  metrics::Registry metrics_;  // before scheduler_: handles point into it
   std::unique_ptr<TaskScheduler> scheduler_;
   std::unique_ptr<DagScheduler> dag_;
   EventLog event_log_;
@@ -168,6 +191,13 @@ class SparkContext {
   std::map<int, Stage> shuffle_producers_;  // shuffle id -> producing stage
   std::map<int, int> recovering_;           // shuffle id -> in-flight recoveries
   std::map<int, std::vector<uint64_t>> held_sets_;  // parked on recovery
+
+  // Cache lineage (evicted-block recompute).
+  std::map<int, Stage> cache_producers_;    // cache id -> producing stage
+  std::map<int, int> recovering_caches_;    // cache id -> in-flight recoveries
+  std::map<int, std::vector<uint64_t>> cache_held_sets_;
+  bool shuffle_locality_ = false;  // saex.storage.shuffleLocality
+  metrics::CounterHandle m_recomputes_;
 };
 
 /// Builds the PolicyFactory implied by `config` ("saex.executor.policy" =

@@ -3,13 +3,27 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <stdexcept>
 
+#include "common/format.h"
 #include "common/log.h"
 
 namespace saex::engine {
 
 void CacheRegistry::init(int cache_id, int partitions) {
-  parts_[cache_id].resize(static_cast<size_t>(partitions));
+  const auto [it, inserted] = parts_.try_emplace(cache_id);
+  if (inserted) {
+    it->second.resize(static_cast<size_t>(partitions));
+    return;
+  }
+  // Re-registration of a known cache is a no-op; silently resizing here used
+  // to truncate (or zero-extend) live partition state.
+  if (static_cast<int>(it->second.size()) != partitions) {
+    throw std::logic_error(strfmt::format(
+        "CacheRegistry::init({}, {}): cache already registered with {} "
+        "partitions",
+        cache_id, partitions, it->second.size()));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -328,7 +342,8 @@ struct ExecutorRuntime::TaskRun {
       const Bytes cache_chunk = static_cast<Bytes>(cache_acc);
       cache_acc -= static_cast<double>(cache_chunk);
       if (cache_chunk > 0) {
-        const Bytes granted = exec->reserve_storage(cache_chunk);
+        const Bytes granted =
+            exec->reserve_storage(cache_out_id, spec.partition, cache_chunk);
         cache_mem_written += granted;
         const Bytes spill = cache_chunk - granted;
         cache_spilled += spill;
@@ -431,17 +446,34 @@ struct ExecutorRuntime::TaskRun {
   }
 
   void flush_and_finish() {
+    storage::StorageManager* storage = exec->env_.storage;
     if (sink == StageSink::kShuffleWrite && out_shuffle_id >= 0) {
       // First commit wins: a losing speculative copy that raced past the
       // driver's cancellation must not double-count the partition's output.
-      exec->env_.shuffles->register_map_output(
+      const bool committed = exec->env_.shuffles->register_map_output(
           out_shuffle_id, exec->node_id_, spec.partition, shuffle_written);
+      if (committed && storage != nullptr) {
+        // Track the map output file in the node's block accounting (disk
+        // tier only; shuffle blocks are never memory-resident here).
+        storage->node(exec->node_id_)
+            .add_disk(storage::BlockId{storage::BlockKind::kShuffleOutput,
+                                       out_shuffle_id, spec.partition},
+                      shuffle_written);
+      }
     }
     if (cache_out_id >= 0) {
       auto& part = exec->env_.caches->partition(cache_out_id, spec.partition);
       part.node = exec->node_id_;
       part.mem_bytes = cache_mem_written;
       part.spilled_bytes = cache_spilled;
+      part.dropped = false;
+      if (storage != nullptr) {
+        const storage::BlockId bid{storage::BlockKind::kCachePartition,
+                                   cache_out_id, spec.partition};
+        auto& bm = storage->node(exec->node_id_);
+        bm.add_disk(bid, cache_spilled);
+        bm.commit(bid);  // unpin: the block is now fair game for eviction
+      }
     }
     exec->finish_task(this, TaskOutcome{});
   }
@@ -511,6 +543,13 @@ void ExecutorRuntime::cancel_task(int stage_uid, int partition) {
 void ExecutorRuntime::kill() {
   if (!alive_) return;
   alive_ = false;
+  // The dead process's block manager loses everything it held (cached
+  // partitions, spilled runs, shuffle files — the directory-side loss is
+  // applied by the driver via ShuffleManager::on_node_lost).
+  if (env_.storage != nullptr) {
+    env_.storage->node(node_id_).drop_all();
+    storage_used_ = 0;
+  }
   // Snapshot first: a drained abort removes the run from active_.
   std::vector<TaskRun*> runs;
   runs.reserve(active_.size());
@@ -528,13 +567,49 @@ void ExecutorRuntime::kill() {
   }
 }
 
-Bytes ExecutorRuntime::reserve_storage(Bytes bytes) noexcept {
-  const Bytes budget = env_.storage_budget;
-  const Bytes granted =
-      budget > 0 ? std::min(bytes, std::max<Bytes>(0, budget - storage_used_))
-                 : bytes;
-  storage_used_ += granted;
-  return granted;
+Bytes ExecutorRuntime::reserve_storage(int cache_id, int partition,
+                                       Bytes bytes) {
+  if (env_.storage == nullptr) {
+    // Legacy path (unit rigs construct EngineEnv without a StorageManager):
+    // grant up to the remaining budget, the write's own overflow spills.
+    const Bytes budget = env_.storage_budget;
+    const Bytes granted =
+        budget > 0 ? std::min(bytes, std::max<Bytes>(0, budget - storage_used_))
+                   : bytes;
+    storage_used_ += granted;
+    return granted;
+  }
+
+  storage::BlockManager& bm = env_.storage->node(node_id_);
+  const storage::BlockManager::Reservation res = bm.reserve(
+      storage::BlockId{storage::BlockKind::kCachePartition, cache_id,
+                       partition},
+      bytes);
+  // Apply the physical consequences of every eviction the policy decided:
+  // update the cluster-wide directory and charge spill writes to this
+  // node's disk so they contend with foreground I/O (nobody blocks on
+  // them — Spark's block manager also writes evictions on the caller's
+  // thread, but our task already accounted its own chunk).
+  for (const storage::BlockManager::Evicted& ev : res.evicted) {
+    if (ev.id.kind != storage::BlockKind::kCachePartition) continue;
+    auto& part = env_.caches->partition(ev.id.id, ev.id.partition);
+    if (ev.spilled) {
+      part.spilled_bytes += ev.mem_bytes;
+      part.mem_bytes = 0;
+      if (ev.mem_bytes > 0) {
+        node().disk().submit(ev.mem_bytes, true, [this, b = ev.mem_bytes] {
+          io_.add_write(b);
+          io_series_.add(env_.sim->now(), b);
+        });
+      }
+    } else {
+      part.mem_bytes = 0;
+      part.spilled_bytes = 0;
+      part.dropped = true;
+    }
+  }
+  storage_used_ = bm.mem_used();
+  return res.granted;
 }
 
 void ExecutorRuntime::launch(const TaskSpec& spec, const Stage& stage,
@@ -649,6 +724,31 @@ void ExecutorRuntime::launch(const TaskSpec& spec, const Stage& stage,
     case StageSource::kCached: {
       const auto& part =
           env_.caches->partition(stage.in_cache_id, spec.partition);
+      if (part.dropped) {
+        // Evicted without spilling: the data is gone but (unlike executor
+        // loss) its producer is still alive, so report a fetch failure and
+        // let the driver recompute the partition from lineage. shuffle_id
+        // stays -1; the stage's in_cache_id identifies what was lost.
+        raw->aborting = true;
+        raw->fail_kind = TaskFailure::kFetchFailed;
+        raw->fail_fetch_src = part.node;
+        raw->fail_fetch_sid = -1;
+        if (env_.storage != nullptr && part.node >= 0) {
+          env_.storage->node(part.node).touch(
+              storage::BlockId{storage::BlockKind::kCachePartition,
+                               stage.in_cache_id, spec.partition},
+              /*mem_hit=*/false);
+        }
+        break;  // no segments: the empty-segments branch drains the abort
+      }
+      if (env_.storage != nullptr && part.node >= 0) {
+        // Hit/miss accounting on the owning node: a hit is served entirely
+        // from memory, a spilled tail forces a disk read.
+        env_.storage->node(part.node).touch(
+            storage::BlockId{storage::BlockKind::kCachePartition,
+                             stage.in_cache_id, spec.partition},
+            /*mem_hit=*/part.spilled_bytes == 0);
+      }
       if (part.node == node_id_) {
         run->segments.push_back(Segment{K::kMemory, node_id_, part.mem_bytes});
         if (part.spilled_bytes > 0) {

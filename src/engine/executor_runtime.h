@@ -27,18 +27,27 @@
 #include "common/rng.h"
 #include "engine/event_log.h"
 #include "metrics/timeseries.h"
+#include "storage/block_manager.h"
 
 namespace saex::engine {
 
-/// Where cached RDD partitions live at runtime.
+/// Where cached RDD partitions live at runtime (the cluster-wide block
+/// directory; per-node budgets and eviction live in storage::BlockManager).
 class CacheRegistry {
  public:
   struct Partition {
     int node = -1;
     Bytes mem_bytes = 0;
     Bytes spilled_bytes = 0;
+    // Evicted without spilling (saex.storage.spillOnEvict=false): the data
+    // is gone and the partition must be recomputed from lineage before the
+    // next read.
+    bool dropped = false;
   };
 
+  /// Registers a cache. Idempotent for a matching partition count; a
+  /// *different* count for an existing id throws std::logic_error (silently
+  /// resizing would drop live partition state).
   void init(int cache_id, int partitions);
   bool has(int cache_id) const noexcept {
     return parts_.find(cache_id) != parts_.end();
@@ -64,7 +73,11 @@ struct EngineEnv {
   Bytes io_chunk = mib(4);  // granularity of blocking I/O requests
   // Per-node storage budget for cached RDDs (spark.memory.fraction ×
   // spark.memory.storageFraction × node memory); overflow spills to disk.
+  // Used directly only when `storage` is null (legacy path, unit rigs).
   Bytes storage_budget = 0;
+  // Per-node BlockManagers (budget + eviction policy + hit/miss counters).
+  // Null falls back to the legacy storage_budget arithmetic above.
+  storage::StorageManager* storage = nullptr;
   // Fraction of local shuffle reads served by the OS page cache (the map
   // output was just written); the rest hits the disk.
   double shuffle_cache_fraction = 0.15;
@@ -147,9 +160,13 @@ class ExecutorRuntime final : public adaptive::PoolEffector,
   void kill();
   bool alive() const noexcept { return alive_; }
 
-  /// Reserves cache-storage memory; returns the granted amount (the rest
-  /// must spill to disk).
-  Bytes reserve_storage(Bytes bytes) noexcept;
+  /// Reserves cache-storage memory for one chunk of `(cache_id, partition)`;
+  /// returns the granted amount (the rest must spill to disk through the
+  /// caller's write channel). When a BlockManager is attached, the eviction
+  /// policy may free committed blocks to make room — victims move to disk
+  /// (a background write charged to this node's device) or are dropped for
+  /// lineage recompute, and the CacheRegistry is updated either way.
+  Bytes reserve_storage(int cache_id, int partition, Bytes bytes);
   Bytes storage_used() const noexcept { return storage_used_; }
 
   const metrics::IoCounters& io_counters() const noexcept {

@@ -68,6 +68,7 @@ const char* subsystem_name(Subsystem s) noexcept {
     case Subsystem::kDfs: return "dfs";
     case Subsystem::kAdaptive: return "adaptive";
     case Subsystem::kMetrics: return "metrics";
+    case Subsystem::kStorage: return "storage";
     case Subsystem::kOther: return "other";
     case Subsystem::kCount: break;
   }

@@ -31,6 +31,7 @@ enum class Subsystem : uint8_t {
   kDfs,        // block placement and lookup
   kAdaptive,   // MAPE-K policy evaluation
   kMetrics,    // time-series recording
+  kStorage,    // per-node BlockManager bookkeeping
   kOther,
   kCount,
 };

@@ -1,0 +1,192 @@
+#include "storage/block_manager.h"
+
+#include <cassert>
+
+#include "common/format.h"
+#include "prof/profiler.h"
+
+namespace saex::storage {
+
+BlockManager::BlockManager(int node_id, const Options& options,
+                           metrics::Registry* metrics)
+    : node_id_(node_id),
+      options_(options),
+      policy_(make_eviction_policy(options.policy)) {
+  if (metrics != nullptr) {
+    const std::string prefix = strfmt::format("storage/node{}/", node_id);
+    m_hits_ = metrics->counter_handle(prefix + "hits");
+    m_misses_ = metrics->counter_handle(prefix + "misses");
+    m_evictions_ = metrics->counter_handle(prefix + "evictions");
+    m_evict_spill_bytes_ = metrics->counter_handle(prefix + "evict_spill_bytes");
+    m_evict_drop_bytes_ = metrics->counter_handle(prefix + "evict_drop_bytes");
+  }
+}
+
+bool BlockManager::over_budget(Bytes incoming) const noexcept {
+  return options_.memory_budget > 0 &&
+         mem_used_ + incoming > options_.memory_budget;
+}
+
+BlockManager::Reservation BlockManager::reserve(BlockId id, Bytes bytes) {
+  SAEX_PROF_SCOPE(kStorage);
+  Reservation res;
+  Block& b = block(id.key());
+  b.pinned = true;
+
+  // Active eviction: free committed blocks until the chunk fits (or nothing
+  // evictable remains). The victim loop is bounded by the resident count:
+  // victim() removes its pick from the policy, and skipped picks are stashed
+  // outside it until the loop exits.
+  if (policy_ != nullptr) {
+    std::vector<BlockKey> skipped;
+    while (over_budget(bytes) && !policy_->empty()) {
+      const BlockKey vkey = policy_->victim();
+      const auto it = blocks_.find(vkey);
+      assert(it != blocks_.end() && "policy tracked an unknown block");
+      Block& victim = it->second;
+      const BlockId vid = BlockId::from_key(vkey);
+      // Never evict blocks of the RDD currently being written (Spark's
+      // MemoryStore rule): dropping a sibling partition to admit this one
+      // would trigger a recompute of the very cache under construction —
+      // a ping-pong that can cycle forever under tight budgets. Pinned
+      // blocks (mid-write on this node) are likewise untouchable.
+      if (victim.pinned || (id.kind == BlockKind::kCachePartition &&
+                            vid.kind == id.kind && vid.id == id.id)) {
+        skipped.push_back(vkey);
+        continue;
+      }
+      Evicted ev;
+      ev.id = vid;
+      ev.mem_bytes = victim.mem_bytes;
+      ev.spilled = options_.spill_on_evict;
+      mem_used_ -= victim.mem_bytes;
+      ++evictions_;
+      if (m_evictions_) m_evictions_.increment();
+      if (options_.spill_on_evict) {
+        victim.disk_bytes += victim.mem_bytes;
+        disk_used_ += victim.mem_bytes;
+        evict_spill_bytes_ += victim.mem_bytes;
+        if (m_evict_spill_bytes_) {
+          m_evict_spill_bytes_.add(static_cast<double>(victim.mem_bytes));
+        }
+        victim.mem_bytes = 0;
+      } else {
+        evict_drop_bytes_ += victim.mem_bytes;
+        if (m_evict_drop_bytes_) {
+          m_evict_drop_bytes_.add(static_cast<double>(victim.mem_bytes));
+        }
+        disk_used_ -= victim.disk_bytes;
+        blocks_.erase(it);
+      }
+      res.evicted.push_back(ev);
+    }
+    // Re-track the survivors in selection order (deterministic; they rejoin
+    // at each policy's insertion point).
+    for (const BlockKey key : skipped) policy_->on_insert(key);
+  }
+
+  // Grant whatever fits; the remainder is the caller's to spill. With
+  // policy "none" this is exactly the legacy reserve_storage arithmetic.
+  const Bytes room =
+      options_.memory_budget > 0
+          ? (mem_used_ < options_.memory_budget
+                 ? options_.memory_budget - mem_used_
+                 : 0)
+          : bytes;
+  res.granted = bytes < room ? bytes : room;
+  b.mem_bytes += res.granted;
+  mem_used_ += res.granted;
+  return res;
+}
+
+void BlockManager::add_disk(BlockId id, Bytes bytes) {
+  if (bytes == 0) return;
+  Block& b = block(id.key());
+  b.disk_bytes += bytes;
+  disk_used_ += bytes;
+}
+
+void BlockManager::commit(BlockId id) {
+  const auto it = blocks_.find(id.key());
+  if (it == blocks_.end()) return;
+  it->second.pinned = false;
+  if (policy_ != nullptr && it->second.mem_bytes > 0) {
+    policy_->on_insert(id.key());
+  }
+}
+
+void BlockManager::touch(BlockId id, bool mem_hit) {
+  SAEX_PROF_SCOPE(kStorage);
+  if (mem_hit) {
+    ++hits_;
+    if (m_hits_) m_hits_.increment();
+  } else {
+    ++misses_;
+    if (m_misses_) m_misses_.increment();
+  }
+  if (policy_ != nullptr) policy_->on_access(id.key());
+}
+
+void BlockManager::drop(BlockId id) {
+  const auto it = blocks_.find(id.key());
+  if (it == blocks_.end()) return;
+  mem_used_ -= it->second.mem_bytes;
+  disk_used_ -= it->second.disk_bytes;
+  if (policy_ != nullptr) policy_->on_remove(id.key());
+  blocks_.erase(it);
+}
+
+void BlockManager::drop_all() {
+  for (const auto& [key, b] : blocks_) {
+    if (policy_ != nullptr) policy_->on_remove(key);
+  }
+  blocks_.clear();
+  mem_used_ = 0;
+  disk_used_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// StorageManager
+// ---------------------------------------------------------------------------
+
+StorageManager::StorageManager(int num_nodes,
+                               const BlockManager::Options& options,
+                               metrics::Registry* metrics)
+    : policy_name_(options.policy) {
+  nodes_.reserve(static_cast<size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    nodes_.push_back(std::make_unique<BlockManager>(n, options, metrics));
+  }
+}
+
+int64_t StorageManager::total_hits() const noexcept {
+  int64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->hits();
+  return sum;
+}
+
+int64_t StorageManager::total_misses() const noexcept {
+  int64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->misses();
+  return sum;
+}
+
+int64_t StorageManager::total_evictions() const noexcept {
+  int64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->evictions();
+  return sum;
+}
+
+Bytes StorageManager::total_evicted_spill_bytes() const noexcept {
+  Bytes sum = 0;
+  for (const auto& n : nodes_) sum += n->evicted_spill_bytes();
+  return sum;
+}
+
+double StorageManager::hit_rate() const noexcept {
+  const int64_t h = total_hits();
+  const int64_t m = total_misses();
+  return h + m == 0 ? 1.0 : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+}  // namespace saex::storage

@@ -1,0 +1,328 @@
+#include "storage/eviction.h"
+
+#include <algorithm>
+#include <cassert>
+#include <list>
+#include <map>
+#include <stdexcept>
+
+#include "common/format.h"
+
+namespace saex::storage {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// LRU: doubly-linked recency list (front = most recent) + key index.
+// ---------------------------------------------------------------------------
+class LruPolicy final : public EvictionPolicy {
+ public:
+  const char* name() const noexcept override { return "lru"; }
+
+  void on_insert(BlockKey key) override {
+    if (index_.count(key) > 0) {
+      on_access(key);
+      return;
+    }
+    order_.push_front(key);
+    index_[key] = order_.begin();
+  }
+
+  void on_access(BlockKey key) override {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.splice(order_.begin(), order_, it->second);
+  }
+
+  void on_remove(BlockKey key) override {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  BlockKey victim() override {
+    assert(!order_.empty());
+    const BlockKey key = order_.back();
+    order_.pop_back();
+    index_.erase(key);
+    return key;
+  }
+
+  bool empty() const noexcept override { return order_.empty(); }
+  size_t size() const noexcept override { return order_.size(); }
+
+ private:
+  std::list<BlockKey> order_;
+  std::map<BlockKey, std::list<BlockKey>::iterator> index_;
+};
+
+// ---------------------------------------------------------------------------
+// Clock (second-chance FIFO): a circular list with one reference bit per
+// block. The hand sweeps in insertion order; a set bit buys the block one
+// more lap, a clear bit makes it the victim.
+// ---------------------------------------------------------------------------
+class ClockPolicy final : public EvictionPolicy {
+ public:
+  const char* name() const noexcept override { return "clock"; }
+
+  void on_insert(BlockKey key) override {
+    if (index_.count(key) > 0) {
+      on_access(key);
+      return;
+    }
+    // New blocks enter behind the hand (i.e. at the tail of the sweep
+    // order), with their reference bit clear, as in classic CLOCK.
+    const auto pos = ring_.insert(hand_valid() ? hand_ : ring_.end(),
+                                  Entry{key, false});
+    index_[key] = pos;
+  }
+
+  void on_access(BlockKey key) override {
+    const auto it = index_.find(key);
+    if (it != index_.end()) it->second->referenced = true;
+  }
+
+  void on_remove(BlockKey key) override {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return;
+    erase(it->second);
+    index_.erase(it);
+  }
+
+  BlockKey victim() override {
+    assert(!ring_.empty());
+    if (!hand_valid()) hand_ = ring_.begin();
+    // Terminates: each pass clears one bit, and bits are only set by
+    // accesses, which cannot happen mid-call.
+    while (hand_->referenced) {
+      hand_->referenced = false;
+      advance();
+    }
+    const BlockKey key = hand_->key;
+    auto doomed = hand_;
+    advance();
+    erase(doomed);
+    index_.erase(key);
+    return key;
+  }
+
+  bool empty() const noexcept override { return ring_.empty(); }
+  size_t size() const noexcept override { return ring_.size(); }
+
+ private:
+  struct Entry {
+    BlockKey key;
+    bool referenced;
+  };
+  using Ring = std::list<Entry>;
+
+  bool hand_valid() const { return hand_ != ring_.end(); }
+  void advance() {
+    ++hand_;
+    if (hand_ == ring_.end()) hand_ = ring_.begin();
+  }
+  void erase(Ring::iterator pos) {
+    if (hand_ == pos) advance();
+    ring_.erase(pos);
+    if (ring_.empty()) hand_ = ring_.end();
+  }
+
+  Ring ring_;
+  Ring::iterator hand_ = ring_.end();
+  std::map<BlockKey, Ring::iterator> index_;
+};
+
+// ---------------------------------------------------------------------------
+// S3-FIFO (Yang et al., SOSP'23), simplified to block counts: a small
+// probationary FIFO absorbs new blocks, the main FIFO holds blocks that
+// proved themselves (re-accessed while in small, or re-inserted after a
+// ghost hit), and a bounded ghost FIFO remembers recently evicted keys.
+// One-hit wonders flow through small and out without disturbing main.
+// ---------------------------------------------------------------------------
+class S3FifoPolicy final : public EvictionPolicy {
+ public:
+  const char* name() const noexcept override { return "s3fifo"; }
+
+  void on_insert(BlockKey key) override {
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      it->second.freq = std::min(it->second.freq + 1, 3);
+      return;
+    }
+    const bool ghost_hit =
+        std::find(ghost_.begin(), ghost_.end(), key) != ghost_.end();
+    if (ghost_hit) {
+      ghost_.erase(std::remove(ghost_.begin(), ghost_.end(), key),
+                   ghost_.end());
+      main_.push_back(key);
+      entries_[key] = {/*freq=*/0, /*in_main=*/true};
+    } else {
+      small_.push_back(key);
+      entries_[key] = {/*freq=*/0, /*in_main=*/false};
+    }
+  }
+
+  void on_access(BlockKey key) override {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) it->second.freq = std::min(it->second.freq + 1, 3);
+  }
+
+  void on_remove(BlockKey key) override {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    auto& q = it->second.in_main ? main_ : small_;
+    q.erase(std::remove(q.begin(), q.end(), key), q.end());
+    entries_.erase(it);
+  }
+
+  BlockKey victim() override {
+    assert(!entries_.empty());
+    // Evict from small while it exceeds its 10% share (paper's S:M split);
+    // otherwise from main. Re-accessed small blocks get promoted instead of
+    // evicted; warm main blocks are demoted one frequency step and requeued.
+    while (true) {
+      const bool from_small =
+          !small_.empty() &&
+          (main_.empty() || small_.size() * 10 >= entries_.size());
+      if (from_small) {
+        const BlockKey key = small_.front();
+        small_.pop_front();
+        Entry& e = entries_.at(key);
+        if (e.freq > 0) {  // promoted to main, not evicted
+          e.freq = 0;
+          e.in_main = true;
+          main_.push_back(key);
+          continue;
+        }
+        entries_.erase(key);
+        remember_ghost(key);
+        return key;
+      }
+      const BlockKey key = main_.front();
+      main_.pop_front();
+      Entry& e = entries_.at(key);
+      if (e.freq > 0) {  // second chance with decayed frequency
+        --e.freq;
+        main_.push_back(key);
+        continue;
+      }
+      entries_.erase(key);
+      return key;
+    }
+  }
+
+  bool empty() const noexcept override { return entries_.empty(); }
+  size_t size() const noexcept override { return entries_.size(); }
+
+ private:
+  struct Entry {
+    int freq = 0;  // capped at 3, as in the paper
+    bool in_main = false;
+  };
+
+  void remember_ghost(BlockKey key) {
+    ghost_.push_back(key);
+    // Ghost capacity tracks the resident set (paper: |ghost| ~ |main|).
+    const size_t cap = std::max<size_t>(8, entries_.size());
+    while (ghost_.size() > cap) ghost_.pop_front();
+  }
+
+  std::list<BlockKey> small_;
+  std::list<BlockKey> main_;
+  std::list<BlockKey> ghost_;  // evicted-from-small keys only
+  std::map<BlockKey, Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// TinyLFU: an aged frequency estimate per key; the victim is the resident
+// block with the lowest frequency (FIFO order breaks ties). Every
+// `kSampleWindow` recorded events all counters halve, so stale popularity
+// decays (the "reset" half of the TinyLFU sketch, with exact counters —
+// block counts here are small enough not to need a count-min sketch).
+// ---------------------------------------------------------------------------
+class TinyLfuPolicy final : public EvictionPolicy {
+ public:
+  const char* name() const noexcept override { return "tinylfu"; }
+
+  void on_insert(BlockKey key) override {
+    record(key);
+    if (std::find(fifo_.begin(), fifo_.end(), key) == fifo_.end()) {
+      fifo_.push_back(key);
+    }
+  }
+
+  void on_access(BlockKey key) override { record(key); }
+
+  void on_remove(BlockKey key) override {
+    fifo_.erase(std::remove(fifo_.begin(), fifo_.end(), key), fifo_.end());
+  }
+
+  BlockKey victim() override {
+    assert(!fifo_.empty());
+    auto coldest = fifo_.begin();
+    uint32_t coldest_freq = freq_of(*coldest);
+    for (auto it = std::next(fifo_.begin()); it != fifo_.end(); ++it) {
+      const uint32_t f = freq_of(*it);
+      if (f < coldest_freq) {  // strict: ties keep the oldest (FIFO) block
+        coldest = it;
+        coldest_freq = f;
+      }
+    }
+    const BlockKey key = *coldest;
+    fifo_.erase(coldest);
+    return key;
+  }
+
+  bool empty() const noexcept override { return fifo_.empty(); }
+  size_t size() const noexcept override { return fifo_.size(); }
+
+ private:
+  static constexpr uint64_t kSampleWindow = 1024;
+
+  void record(BlockKey key) {
+    ++freq_[key];
+    if (++events_ >= kSampleWindow) {
+      events_ = 0;
+      for (auto it = freq_.begin(); it != freq_.end();) {
+        it->second /= 2;
+        it = it->second == 0 ? freq_.erase(it) : std::next(it);
+      }
+    }
+  }
+
+  uint32_t freq_of(BlockKey key) const {
+    const auto it = freq_.find(key);
+    return it == freq_.end() ? 0 : it->second;
+  }
+
+  std::list<BlockKey> fifo_;  // residents in insertion order
+  std::map<BlockKey, uint32_t> freq_;
+  uint64_t events_ = 0;
+};
+
+}  // namespace
+
+const std::vector<std::string>& eviction_policy_names() {
+  static const std::vector<std::string> names = {"none", "lru", "clock",
+                                                 "s3fifo", "tinylfu"};
+  return names;
+}
+
+bool is_valid_eviction_policy(const std::string& name) {
+  const auto& names = eviction_policy_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(const std::string& name) {
+  if (name == "none") return nullptr;
+  if (name == "lru") return std::make_unique<LruPolicy>();
+  if (name == "clock") return std::make_unique<ClockPolicy>();
+  if (name == "s3fifo") return std::make_unique<S3FifoPolicy>();
+  if (name == "tinylfu") return std::make_unique<TinyLfuPolicy>();
+  throw std::invalid_argument(strfmt::format(
+      "unknown eviction policy '{}' (valid: none, lru, clock, s3fifo, "
+      "tinylfu)",
+      name));
+}
+
+}  // namespace saex::storage

@@ -1,0 +1,66 @@
+// Pluggable block-eviction policies for the per-node BlockManager.
+//
+// A policy only tracks *identity and ordering* of resident blocks; sizes,
+// budgets, pinning, and what eviction physically means (spill vs drop) are
+// the BlockManager's business. That split keeps every policy a small,
+// deterministic data structure that can be conformance-tested on canned
+// access traces without touching the simulation.
+//
+// Four classic policies are provided behind one interface (selected via
+// saex.storage.policy, cachelib-style single-choice configuration):
+//   lru     — least recently used (list + index map)
+//   clock   — second-chance FIFO (reference bits, sweeping hand)
+//   s3fifo  — small/main/ghost FIFOs (Yang et al., SOSP'23): one-hit wonders
+//             leave through the small queue without polluting the main one
+//   tinylfu — frequency sketch with periodic aging; the coldest resident
+//             block is evicted (W-TinyLFU's admission idea, simplified)
+//
+// All policies are strictly deterministic: same insert/access trace, same
+// victim sequence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace saex::storage {
+
+/// Opaque block identity (see block_manager.h for the encoding).
+using BlockKey = uint64_t;
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual const char* name() const noexcept = 0;
+
+  /// A new resident block. Keys are unique among resident blocks; inserting
+  /// a key that is already tracked is a no-op access.
+  virtual void on_insert(BlockKey key) = 0;
+  /// The block was read (a cache hit).
+  virtual void on_access(BlockKey key) = 0;
+  /// The block left memory for reasons outside the policy (explicit drop,
+  /// executor death, spill). Unknown keys are ignored.
+  virtual void on_remove(BlockKey key) = 0;
+
+  /// Selects the next victim, removes it from the policy's tracking, and
+  /// returns it. Precondition: !empty().
+  virtual BlockKey victim() = 0;
+
+  virtual bool empty() const noexcept = 0;
+  virtual size_t size() const noexcept = 0;
+};
+
+/// Valid saex.storage.policy values: "none" (no active eviction — overflow
+/// of the *incoming* write spills, today's pre-BlockManager semantics) plus
+/// the four real policies.
+const std::vector<std::string>& eviction_policy_names();
+
+/// True iff `name` is a valid saex.storage.policy value.
+bool is_valid_eviction_policy(const std::string& name);
+
+/// Builds the named policy; returns nullptr for "none". Throws
+/// std::invalid_argument (listing the valid choices) for unknown names.
+std::unique_ptr<EvictionPolicy> make_eviction_policy(const std::string& name);
+
+}  // namespace saex::storage

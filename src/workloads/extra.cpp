@@ -85,4 +85,62 @@ WorkloadSpec kmeans(Bytes input, int iterations) {
   return spec;
 }
 
+WorkloadSpec cache_churn(Bytes per_cache, int num_caches, int rounds) {
+  WorkloadSpec spec;
+  spec.name = "cachechurn";
+  spec.type = "storage";
+  spec.input_size = per_cache * static_cast<Bytes>(num_caches);
+  spec.paper_io_ratio = 1.0;
+
+  spec.build = [per_cache, num_caches, rounds](engine::SparkContext& ctx) {
+    auto& dfs = ctx.dfs();
+    std::vector<engine::Rdd> caches;
+    caches.reserve(static_cast<size_t>(num_caches));
+    for (int i = 0; i < num_caches; ++i) {
+      const std::string in = strfmt::format("/churn/in{}", i);
+      if (!dfs.exists(in)) {
+        // Small blocks: 16 partitions per cache regardless of size, so the
+        // cached blocks spread across the cluster and per-node budgets see
+        // real multi-block contention.
+        dfs.load_input(in, per_cache, std::min(ctx.cluster().size(), 4),
+                       std::max<Bytes>(mib(1), per_cache / 16));
+      }
+      caches.push_back(ctx.text_file(in)
+                           .map(strfmt::format("parse-{}", i), {0.10, 1.0})
+                           .cache());
+    }
+
+    auto scan = [&caches](int i, const std::string& tag) {
+      return caches[static_cast<size_t>(i)]
+          .map(strfmt::format("scan-{}-{}", i, tag), {0.08, 0.001})
+          .collect(strfmt::format("agg-{}-{}", i, tag));
+    };
+
+    // Hot phase: cache 0 is materialized and re-read until it is clearly
+    // the frequent block set. Then a pollution phase streams the cold
+    // caches through exactly once — the shape where recency and frequency
+    // disagree: LRU sacrifices the hot-but-not-recent cache 0 to one-hit
+    // wonders, while frequency-aware policies (tinylfu, s3fifo's small
+    // queue, clock's reference bits) let the scan pass through.
+    std::vector<engine::Rdd> actions;
+    actions.push_back(scan(0, "warm0"));
+    for (int h = 0; h < 3; ++h) {
+      actions.push_back(scan(0, strfmt::format("hot{}", h)));
+    }
+    for (int i = 1; i < num_caches; ++i) {
+      actions.push_back(scan(i, strfmt::format("warm{}", i)));
+    }
+    // Skewed read rounds: cache 0 is read twice per round, the rest once —
+    // a policy that keeps the hot cache resident wins on hit rate.
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 0; i < num_caches; ++i) {
+        actions.push_back(scan(i, strfmt::format("r{}", r)));
+        if (i == 0) actions.push_back(scan(0, strfmt::format("r{}b", r)));
+      }
+    }
+    return actions;
+  };
+  return spec;
+}
+
 }  // namespace saex::workloads

@@ -48,6 +48,15 @@ WorkloadSpec sort(Bytes input = gib(32));
 WorkloadSpec kmeans(Bytes input = gib(16), int iterations = 3);
 std::vector<WorkloadSpec> extra_workloads();
 
+/// Storage-layer stressor (not part of the preset lists): `num_caches`
+/// cached RDDs of `per_cache` bytes each contend for the per-node budget,
+/// then `rounds` of skewed re-reads (cache 0 hottest, Zipf-ish) measure how
+/// well the eviction policy kept the hot set resident. Built for the
+/// cache_policies bench and the storage tests; with an unbounded budget it
+/// degenerates to plain cached scans.
+WorkloadSpec cache_churn(Bytes per_cache = gib(1), int num_caches = 4,
+                         int rounds = 3);
+
 /// Runs a workload application (all of its jobs) on a fresh context and
 /// returns the merged report.
 engine::JobReport run(const WorkloadSpec& spec, hw::Cluster& cluster,

@@ -134,6 +134,10 @@ def check_engine_bench():
     check_bench_snapshot("BENCH_engine.json", "engine_perf")
 
 
+def check_storage_bench():
+    check_bench_snapshot("BENCH_storage.json", "cache_policies")
+
+
 def check_test_count():
     readme = re.search(r"#\s*(\d+)\s+tests", read(os.path.join(ROOT, "README.md")))
     exp = re.search(r"(\d+)/\1 tests pass", read(os.path.join(ROOT, "EXPERIMENTS.md")))
@@ -157,6 +161,7 @@ def main():
     check_architecture_modules()
     check_kernel_bench()
     check_engine_bench()
+    check_storage_bench()
     check_test_count()
     if failures:
         print(f"\n{len(failures)} documentation check(s) failed")

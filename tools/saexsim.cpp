@@ -22,6 +22,7 @@
 #include "common/format.h"
 #include "common/log.h"
 #include "prof/profiler.h"
+#include "storage/eviction.h"
 #include "harness/harness.h"
 #include "serve/job_server.h"
 #include "workloads/workloads.h"
@@ -34,6 +35,7 @@ const char* kWorkloadChoices =
     "terasort pagerank aggregation join scan bayes lda nweight svm "
     "wordcount sort kmeans";
 const char* kPolicyChoices = "default static dynamic aimd sweep";
+const char* kStoragePolicyChoices = "none lru clock s3fifo tinylfu";
 const char* kModeChoices = "FIFO FAIR";
 
 struct Args {
@@ -48,6 +50,10 @@ struct Args {
   int parallelism = 0;    // 0 = nodes * 32
   double failure_prob = 0.0;
   bool speculation = false;
+
+  // Storage layer (saex.storage.*).
+  double storage_mem_gib = -1.0;  // <0 = config default (node memory fraction)
+  std::string storage_policy;     // empty = config default ("none")
 
   // Fault injection (saex.fault.*).
   int kill_node = -1;
@@ -94,6 +100,10 @@ void usage() {
       "  --parallelism P     shuffle partitions (default nodes*32)\n"
       "  --failures P        per-attempt task failure probability\n"
       "  --speculation       enable speculative execution\n"
+      "  --storage-mem GIB   per-node cache-storage budget in GiB\n"
+      "                      (default: spark.memory.fraction x\n"
+      "                      spark.memory.storageFraction x node memory)\n"
+      "  --storage-policy P  block eviction policy, one of: %s\n"
       "  --kill-node N       fault: kill executor N (with --kill-time or\n"
       "                      --kill-after-tasks)\n"
       "  --kill-time T       fault: kill trigger, simulated seconds\n"
@@ -127,7 +137,7 @@ void usage() {
       "  --jobs-table        also print the per-submission table\n"
       "  (--policy, --nodes, --ssd, --seed, --parallelism, --eventlog,\n"
       "   --trace apply here too)\n",
-      kWorkloadChoices, kPolicyChoices, kModeChoices);
+      kWorkloadChoices, kPolicyChoices, kStoragePolicyChoices, kModeChoices);
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -166,6 +176,10 @@ std::optional<Args> parse(int argc, char** argv) {
       args.failure_prob = std::atof(value());
     } else if (a == "--speculation") {
       args.speculation = true;
+    } else if (a == "--storage-mem") {
+      args.storage_mem_gib = std::atof(value());
+    } else if (a == "--storage-policy") {
+      args.storage_policy = value();
     } else if (a == "--kill-node") {
       args.kill_node = std::atoi(value());
     } else if (a == "--kill-time") {
@@ -279,6 +293,13 @@ conf::Config make_config(const Args& args, const std::string& policy) {
                  args.parallelism > 0 ? args.parallelism : args.nodes * 32);
   config.set_double("saex.sim.taskFailureProb", args.failure_prob);
   config.set_bool("spark.speculation", args.speculation);
+  if (args.storage_mem_gib >= 0) {
+    config.set("saex.storage.memory",
+               strfmt::format("{}", gib(args.storage_mem_gib)));
+  }
+  if (!args.storage_policy.empty()) {
+    config.set("saex.storage.policy", args.storage_policy);
+  }
   apply_fault_flags(config, args);
   return config;
 }
@@ -463,6 +484,17 @@ int main(int argc, char** argv) {
                   w.type.c_str(), format_bytes(w.input_size).c_str());
     }
     return 0;
+  }
+
+  if (!args.storage_policy.empty() &&
+      !storage::is_valid_eviction_policy(args.storage_policy)) {
+    std::fprintf(stderr, "unknown storage policy '%s' (valid: %s)\n",
+                 args.storage_policy.c_str(), kStoragePolicyChoices);
+    return 2;
+  }
+  if (args.storage_mem_gib < 0 && args.storage_mem_gib != -1.0) {
+    std::fprintf(stderr, "--storage-mem must be >= 0 (GiB)\n");
+    return 2;
   }
 
   const bool serve_policy_ok =
