@@ -402,6 +402,26 @@ void define_adaptive_extension(Registry& r) {
             "Cache-locality-aware scheduling for reduce tasks: prefer the "
             "node holding the largest share of a task's shuffle fetch plan "
             "(delay scheduling falls back after spark.locality.wait)."});
+  r.define({"saex.shard.count", c, V::kInt, "1",
+            "Sharded serve path: number of independent driver/scheduler "
+            "shards the cluster's nodes are partitioned into (1 = the "
+            "single-driver path)."});
+  r.define({"saex.shard.workers", c, V::kInt, "1",
+            "Worker threads advancing shard kernels; execution-only (any "
+            "worker count produces bitwise-identical reports for a fixed "
+            "shard count)."});
+  r.define({"saex.shard.placement", c, V::kString, "hash",
+            "Cross-shard job router: hash (by client id) | least (greedy "
+            "least-estimated-load in arrival order) | rr (round-robin)."});
+  r.define({"saex.shard.window", c, V::kDurationSeconds, "0s",
+            "Conservative synchronization lookahead override; 0 derives it "
+            "from the minimum cross-shard network latency (with no "
+            "cross-shard channels, shards run to completion independently)."});
+  r.define({"saex.eventLog.enabled", c, V::kBool, "true",
+            "Application event log (the spark.eventLog analogue exported by "
+            "saexsim --eventlog/--trace). Disable for very long serve "
+            "replays: the log grows by several events per task and is "
+            "unbounded live memory."});
 }
 
 Registry build_registry() {

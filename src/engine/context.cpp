@@ -54,6 +54,7 @@ SparkContext::PolicyFactory policy_factory_from_config(
 
 SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
     : cluster_(&cluster), config_(std::move(config)) {
+  event_log_.set_enabled(config_.get_bool("saex.eventLog.enabled"));
   dfs::Dfs::Options dfs_options;
   dfs_options.block_size = config_.get_bytes("spark.files.maxPartitionBytes");
   dfs_options.seed = cluster.spec().seed ^ 0x5a5a5a5aULL;
@@ -715,13 +716,12 @@ void SparkContext::on_stage_finished(
     stats.disk_written +=
         node.disk().total_bytes_written() - base.disk_written[i];
 
-    ExecutorStageStats es;
-    es.node = exec.node_id();
-    es.threads_settled = exec.pool_size();
-    es.blocked_seconds = blocked;
-    es.io_bytes = exec.io_counters().bytes_total() - base.io_bytes[i];
-    stats.threads_total += es.threads_settled;
-    stats.executors.push_back(es);
+    // Unlike run_job (the figure path), the concurrent path keeps only the
+    // cluster-wide rollups: JobServer retains every finished JobReport, so a
+    // per-executor row here is O(cluster × stages) live memory *per job* —
+    // ~1 MB/job on a 10k-node cluster, which OOMs a 100k-job serve_trace_xl
+    // replay. Nothing on the serve path reads StageStats::executors.
+    stats.threads_total += exec.pool_size();
   }
   const double n = static_cast<double>(executors_.size());
   stats.cpu_utilization = cpu_sum / n;

@@ -1,6 +1,6 @@
 // Application event log — the engine's analogue of Spark's event log
-// (spark.eventLog.enabled): a flat record of job/stage/task/resize events
-// that tools can post-process. Two export formats:
+// (gated by saex.eventLog.enabled): a flat record of job/stage/task/resize
+// events that tools can post-process. Two export formats:
 //
 //  * JSON lines, one event per line (Spark-history-server style)
 //  * Chrome trace format (chrome://tracing / Perfetto), with one process
@@ -54,7 +54,15 @@ struct Event {
 
 class EventLog {
  public:
-  void record(Event event) { events_.push_back(std::move(event)); }
+  void record(Event event) {
+    if (enabled_) events_.push_back(std::move(event));
+  }
+
+  /// saex.eventLog.enabled. Disabled, record() is a no-op: the log grows by
+  /// several task/stage events per task, which is unbounded live memory on a
+  /// long serve replay (a 100k-job trace accumulates ~10^8 events).
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  bool enabled() const noexcept { return enabled_; }
 
   const std::vector<Event>& events() const noexcept { return events_; }
   size_t size() const noexcept { return events_.size(); }
@@ -77,6 +85,7 @@ class EventLog {
 
  private:
   std::vector<Event> events_;
+  bool enabled_ = true;
 };
 
 }  // namespace saex::engine

@@ -1,6 +1,7 @@
 #include "engine/task_scheduler.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <map>
 
@@ -18,6 +19,19 @@ TaskScheduler::TaskScheduler(sim::Simulation& sim,
   for (ExecutorRuntime* e : executors) {
     execs_.push_back(ExecState{e, e->pool_size(), 0, true});
   }
+  free_bits_.assign((execs_.size() + 63) / 64, 0);
+  int max_node = -1;
+  for (const ExecState& es : execs_) {
+    max_node = std::max(max_node, es.exec->node_id());
+  }
+  node_to_exec_.assign(static_cast<size_t>(max_node + 1), -1);
+  for (size_t e = 0; e < execs_.size(); ++e) {
+    const int node = execs_[e].exec->node_id();
+    if (node >= 0 && node_to_exec_[static_cast<size_t>(node)] < 0) {
+      node_to_exec_[static_cast<size_t>(node)] = static_cast<int32_t>(e);
+    }
+    update_free_bit(e);
+  }
   if (options_.metrics != nullptr) {
     m_dispatched_ = options_.metrics->counter_handle("engine/tasks/dispatched");
     m_finished_ = options_.metrics->counter_handle("engine/tasks/finished");
@@ -28,18 +42,59 @@ TaskScheduler::TaskScheduler(sim::Simulation& sim,
   }
 }
 
-void TaskScheduler::TaskSet::pending_remove(size_t task_idx) noexcept {
-  const auto it = std::lower_bound(pending.begin(), pending.end(),
+void TaskScheduler::pending_remove(TaskSet& set, size_t task_idx) noexcept {
+  const auto it = std::lower_bound(set.pending.begin(), set.pending.end(),
                                    static_cast<int32_t>(task_idx));
-  assert(it != pending.end() && *it == static_cast<int32_t>(task_idx));
-  pending.erase(it);
+  assert(it != set.pending.end() && *it == static_cast<int32_t>(task_idx));
+  set.pending.erase(it);
+  if (set.tasks[task_idx].preferred_nodes.empty()) --set.pref_free_pending;
+  --pending_total_;
 }
 
-void TaskScheduler::TaskSet::pending_insert(size_t task_idx) {
-  const auto it = std::lower_bound(pending.begin(), pending.end(),
+void TaskScheduler::pending_insert(TaskSet& set, size_t task_idx) {
+  const auto it = std::lower_bound(set.pending.begin(), set.pending.end(),
                                    static_cast<int32_t>(task_idx));
-  assert(it == pending.end() || *it != static_cast<int32_t>(task_idx));
-  pending.insert(it, static_cast<int32_t>(task_idx));
+  assert(it == set.pending.end() || *it != static_cast<int32_t>(task_idx));
+  set.pending.insert(it, static_cast<int32_t>(task_idx));
+  if (set.tasks[task_idx].preferred_nodes.empty()) ++set.pref_free_pending;
+  ++pending_total_;
+}
+
+void TaskScheduler::pending_clear(TaskSet& set) noexcept {
+  pending_total_ -= static_cast<int64_t>(set.pending.size());
+  set.pending.clear();
+  set.pref_free_pending = 0;
+}
+
+void TaskScheduler::update_free_bit(size_t exec_idx) noexcept {
+  const ExecState& es = execs_[exec_idx];
+  const uint64_t mask = uint64_t{1} << (exec_idx & 63);
+  uint64_t& word = free_bits_[exec_idx >> 6];
+  if (es.active && es.assigned < es.advertised) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+size_t TaskScheduler::next_free_exec(size_t from) const noexcept {
+  const size_t n = execs_.size();
+  if (from >= n) return n;
+  size_t w = from >> 6;
+  uint64_t word = free_bits_[w] & (~uint64_t{0} << (from & 63));
+  while (word == 0) {
+    if (++w >= free_bits_.size()) return n;
+    word = free_bits_[w];
+  }
+  return (w << 6) + static_cast<size_t>(std::countr_zero(word));
+}
+
+int TaskScheduler::exec_index_of(int node_id) const noexcept {
+  if (node_id < 0 ||
+      static_cast<size_t>(node_id) >= node_to_exec_.size()) {
+    return -1;
+  }
+  return node_to_exec_[static_cast<size_t>(node_id)];
 }
 
 void TaskScheduler::define_pool(PoolSpec spec) {
@@ -83,23 +138,21 @@ int TaskScheduler::pending_task_count() const noexcept {
 }
 
 void TaskScheduler::set_executor_active(int node_id, bool active) {
-  for (ExecState& es : execs_) {
-    if (es.exec->node_id() == node_id) {
-      if (es.dead) return;  // dead executors never come back
-      es.active = active;
-      break;
-    }
+  if (const int e = exec_index_of(node_id); e >= 0) {
+    ExecState& es = execs_[static_cast<size_t>(e)];
+    if (es.dead) return;  // dead executors never come back
+    es.active = active;
+    update_free_bit(static_cast<size_t>(e));
   }
   if (active) try_assign();
 }
 
 void TaskScheduler::kill_executor(int node_id) {
-  for (ExecState& es : execs_) {
-    if (es.exec->node_id() == node_id) {
-      es.dead = true;
-      es.active = false;
-      break;
-    }
+  if (const int e = exec_index_of(node_id); e >= 0) {
+    ExecState& es = execs_[static_cast<size_t>(e)];
+    es.dead = true;
+    es.active = false;
+    update_free_bit(static_cast<size_t>(e));
   }
 }
 
@@ -129,7 +182,7 @@ void TaskScheduler::abort_set(uint64_t id) {
   set->failed = true;
   set->remaining = 0;
   for (TaskState& st : set->state) st.done = true;
-  set->pending.clear();
+  pending_clear(*set);
   // In-flight copies still drain; on_done fires once running hits zero.
   maybe_finish_set(*set);
 }
@@ -220,6 +273,11 @@ uint64_t TaskScheduler::submit_stage(const Stage& stage,
   }
 
   sets_.push_back(std::make_unique<TaskSet>(std::move(set)));
+  TaskSet& pushed = *sets_.back();
+  pending_total_ += static_cast<int64_t>(pushed.pending.size());
+  for (const TaskSpec& t : pushed.tasks) {
+    if (t.preferred_nodes.empty()) ++pushed.pref_free_pending;
+  }
   try_assign();
   schedule_speculation_check();
   return id;
@@ -231,9 +289,11 @@ void TaskScheduler::run_stage(const Stage& stage, std::vector<TaskSpec> tasks,
   // before the stage was submitted. With recovery sets in flight (lineage
   // resubmission after an executor loss) the assigned counts are live and
   // must not be zeroed.
-  for (ExecState& es : execs_) {
+  for (size_t e = 0; e < execs_.size(); ++e) {
+    ExecState& es = execs_[e];
     es.advertised = es.exec->pool_size();
     if (sets_.empty()) es.assigned = 0;
+    update_free_bit(e);
   }
   completed_durations_.clear();
   stage_failed_ = false;
@@ -347,17 +407,7 @@ std::optional<size_t> TaskScheduler::pick_task_for(TaskSet& set,
       deferred = true;
     }
   }
-  if (!any && deferred && !set.locality_timer_armed) {
-    // Re-offer once the locality window closes, or nothing would wake us.
-    set.locality_timer_armed = true;
-    const double remaining =
-        set.result.submit_time + options_.locality_wait - sim_.now();
-    const uint64_t set_id = set.id;
-    sim_.schedule_after(std::max(remaining, 0.0), [this, set_id] {
-      if (TaskSet* s = find_set(set_id)) s->locality_timer_armed = false;
-      try_assign();
-    });
-  }
+  if (!any && deferred) arm_locality_timer(set);
   if (any) return any;
 
   if (options_.speculation &&
@@ -383,9 +433,138 @@ std::optional<size_t> TaskScheduler::pick_task_for(TaskSet& set,
   return std::nullopt;
 }
 
+// Re-offer once the locality window closes, or nothing would wake us.
+void TaskScheduler::arm_locality_timer(TaskSet& set) {
+  if (set.locality_timer_armed) return;
+  set.locality_timer_armed = true;
+  const double remaining =
+      set.result.submit_time + options_.locality_wait - sim_.now();
+  const uint64_t set_id = set.id;
+  sim_.schedule_after(std::max(remaining, 0.0), [this, set_id] {
+    if (TaskSet* s = find_set(set_id)) s->locality_timer_armed = false;
+    try_assign();
+  });
+}
+
+bool TaskScheduler::set_wait_over(const TaskSet& set) const noexcept {
+  return sim_.now() - set.result.submit_time >= options_.locality_wait;
+}
+
+// True when some offerable set could hand a task to an *arbitrary* free
+// executor: it has a preference-free pending task, or its delay-scheduling
+// window expired so preferring tasks may be stolen. Both only decrease
+// within one try_assign call (no events fire mid-call), so a false answer
+// stays false until the call returns.
+bool TaskScheduler::any_generic_set() const noexcept {
+  for (const auto& set : sets_) {
+    if (set->held || set->pending.empty()) continue;
+    if (set->pref_free_pending > 0 || set_wait_over(*set)) return true;
+  }
+  return false;
+}
+
+const std::vector<int>& TaskScheduler::pref_union(TaskSet& set) {
+  if (set.pref_epoch != offer_epoch_) {
+    set.pref_epoch = offer_epoch_;
+    set.pref_nodes.clear();
+    for (const int32_t idx : set.pending) {
+      const auto& pref = set.tasks[static_cast<size_t>(idx)].preferred_nodes;
+      set.pref_nodes.insert(set.pref_nodes.end(), pref.begin(), pref.end());
+    }
+    std::sort(set.pref_nodes.begin(), set.pref_nodes.end());
+    set.pref_nodes.erase(
+        std::unique(set.pref_nodes.begin(), set.pref_nodes.end()),
+        set.pref_nodes.end());
+  }
+  return set.pref_nodes;
+}
+
+// Executors that some deferred set's pending tasks prefer — with no generic
+// set in flight these are the only executors an offer pass can dispatch to.
+void TaskScheduler::build_candidates() {
+  cand_scratch_.clear();
+  for (const auto& up : sets_) {
+    TaskSet& set = *up;
+    if (set.held || set.pending.empty()) continue;
+    if (set.pref_free_pending > 0 || set_wait_over(set)) continue;
+    for (const int node : pref_union(set)) {
+      if (const int e = exec_index_of(node); e >= 0) {
+        cand_scratch_.push_back(static_cast<size_t>(e));
+      }
+    }
+  }
+  std::sort(cand_scratch_.begin(), cand_scratch_.end());
+  cand_scratch_.erase(
+      std::unique(cand_scratch_.begin(), cand_scratch_.end()),
+      cand_scratch_.end());
+}
+
+// What a fruitless pass of the exhaustive scan does as a side effect: every
+// offerable set whose pending tasks are all waiting out the delay-scheduling
+// window gets its re-offer timer armed (idempotently), in offer order so
+// event creation order matches the scan's failed picks.
+void TaskScheduler::arm_deferred_timers() {
+  // Cheap order-free pre-check so the per-event common case (nothing
+  // deferred) never pays for an offer_order() sort.
+  bool any = false;
+  for (const auto& set : sets_) {
+    if (set->held || set->pending.empty() || set->locality_timer_armed) {
+      continue;
+    }
+    if (set->pref_free_pending > 0 || set_wait_over(*set)) continue;
+    any = true;
+    break;
+  }
+  if (!any) return;
+  for (TaskSet* set_ptr : offer_order()) {
+    TaskSet& set = *set_ptr;
+    if (set.held || set.pending.empty() || set.locality_timer_armed) continue;
+    if (set.pref_free_pending > 0 || set_wait_over(set)) continue;
+    arm_locality_timer(set);
+  }
+}
+
+// Offers executor `exec_idx` one slot: walks sets in FIFO/FAIR order and
+// dispatches from the first that has a task for it. Mirrors one iteration of
+// the exhaustive scan's executor loop, including its side effects: deferred
+// sets passed on the way are armed exactly where their failed pick would be.
+bool TaskScheduler::offer_to(size_t exec_idx) {
+  const int node_id = execs_[exec_idx].exec->node_id();
+  for (TaskSet* set_ptr : offer_order()) {
+    TaskSet& set = *set_ptr;
+    if (set.held) continue;
+    if (set.pending.empty()) continue;  // a pick would fail with no effects
+    const bool generic = set.pref_free_pending > 0 || set_wait_over(set);
+    if (!generic) {
+      const std::vector<int>& pref = pref_union(set);
+      if (!std::binary_search(pref.begin(), pref.end(), node_id)) {
+        // pick_task_for would walk the pending list, match nothing, and
+        // defer — its only side effect being this timer.
+        arm_locality_timer(set);
+        continue;
+      }
+    }
+    if (const auto task = pick_task_for(set, exec_idx)) {
+      dispatch(set, *task, exec_idx, set.state[*task].running_copies > 0);
+      return true;
+    }
+    // pref_nodes over-approximated (the preferring task dispatched earlier
+    // in this call); the failed pick armed the timer itself. Keep walking.
+  }
+  return false;
+}
+
 void TaskScheduler::try_assign() {
   SAEX_PROF_SCOPE(kScheduler);
   if (sets_.empty()) return;
+  if (options_.speculation || options_.blacklist_enabled) {
+    try_assign_scan();
+  } else {
+    try_assign_fast();
+  }
+}
+
+void TaskScheduler::try_assign_scan() {
   bool progress = true;
   while (progress) {
     progress = false;
@@ -407,6 +586,62 @@ void TaskScheduler::try_assign() {
   }
 }
 
+void TaskScheduler::try_assign_fast() {
+  // Nothing pending means no dispatch AND no deferred set to arm: the whole
+  // offer pass is a no-op. This is the per-task-completion common case on a
+  // large, underloaded cluster.
+  if (pending_total_ == 0) return;
+  ++offer_epoch_;
+  const size_t n = execs_.size();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (pending_total_ == 0) break;
+    // One pass: each executor with a free slot is offered at most one task,
+    // in ascending index order — the scan's visit order restricted to the
+    // executors that can actually receive something.
+    bool cand_only = false;
+    size_t cand_pos = 0;
+    size_t e = 0;
+    while (pending_total_ > 0) {
+      if (!cand_only && !any_generic_set()) {
+        build_candidates();
+        cand_only = true;
+        cand_pos = 0;
+      }
+      size_t next;
+      if (cand_only) {
+        while (cand_pos < cand_scratch_.size() && cand_scratch_[cand_pos] < e) {
+          ++cand_pos;
+        }
+        size_t c = n;
+        for (size_t p = cand_pos; p < cand_scratch_.size(); ++p) {
+          if (exec_free(cand_scratch_[p])) {
+            c = cand_scratch_[p];
+            break;
+          }
+        }
+        // A free non-candidate executor ahead of the next candidate would
+        // walk every set without dispatching; its only effect is arming the
+        // deferred timers, which must land *before* the candidate's dispatch
+        // to keep the event sequence identical to the scan.
+        if (next_free_exec(e) < c) arm_deferred_timers();
+        if (c >= n) break;
+        next = c;
+      } else {
+        next = next_free_exec(e);
+        if (next >= n) break;
+      }
+      if (offer_to(next)) progress = true;
+      e = next + 1;
+    }
+  }
+  // The scan's final no-progress pass arms the deferred timers of sets its
+  // failed picks reach — but only if some free executor exists to do the
+  // walking.
+  if (next_free_exec(0) < n) arm_deferred_timers();
+}
+
 void TaskScheduler::dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
                              bool speculative) {
   ExecState& es = execs_[exec_idx];
@@ -420,8 +655,8 @@ void TaskScheduler::dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
   TaskState& st = set.state[task_idx];
   if (st.running_copies == 0) {
     st.launch_time = sim_.now();
-    set.pending_remove(task_idx);  // first copy: the task leaves the pending
-                                   // list until it fails back to zero copies
+    pending_remove(set, task_idx);  // first copy: the task leaves the pending
+                                    // list until it fails back to zero copies
   }
   ++st.running_copies;
   ++st.attempts;
@@ -445,6 +680,7 @@ void TaskScheduler::dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
   }
 
   ++es.assigned;
+  update_free_bit(exec_idx);
   ++set.running;
   ++tasks_dispatched_;
   const TaskSpec spec = set.tasks[task_idx];
@@ -473,6 +709,7 @@ void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
                                      const TaskOutcome& outcome) {
   ExecState& es = execs_[exec_idx];
   --es.assigned;
+  update_free_bit(exec_idx);
   ++tasks_finished_;
   if (task_finish_hook_) task_finish_hook_(tasks_finished_);
 
@@ -566,12 +803,12 @@ void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
     for (TaskState& other : set.state) {
       if (!other.done) other.done = true;
     }
-    set.pending.clear();
+    pending_clear(set);
   }
   // else: attempt failed with budget left — the task is pending again
   // (running_copies just returned to 0) and try_assign re-launches it.
 
-  if (!st.done && st.running_copies == 0) set.pending_insert(task_idx);
+  if (!st.done && st.running_copies == 0) pending_insert(set, task_idx);
   maybe_finish_set(set);
   try_assign();
 }
@@ -587,14 +824,13 @@ void TaskScheduler::maybe_finish_set(TaskSet& set) {
 }
 
 void TaskScheduler::on_executor_resized(int node_id, int new_size) {
-  for (ExecState& es : execs_) {
-    if (es.exec->node_id() == node_id) {
-      SAEX_TRACE("scheduler: executor {} advertised {} -> {}", node_id,
-                 es.advertised, new_size);
-      es.advertised = new_size;
-      if (m_resizes_) m_resizes_.increment();
-      break;
-    }
+  if (const int e = exec_index_of(node_id); e >= 0) {
+    ExecState& es = execs_[static_cast<size_t>(e)];
+    SAEX_TRACE("scheduler: executor {} advertised {} -> {}", node_id,
+               es.advertised, new_size);
+    es.advertised = new_size;
+    update_free_bit(static_cast<size_t>(e));
+    if (m_resizes_) m_resizes_.increment();
   }
   try_assign();
 }

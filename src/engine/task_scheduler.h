@@ -259,6 +259,15 @@ class TaskScheduler {
     std::vector<int32_t> pending;
     size_t remaining = 0;
     int running = 0;  // dispatched copies (incl. in-flight launch messages)
+    // Pending tasks with no locality preference — an O(1) "could any free
+    // executor take a task from this set" test for the offer fast path.
+    int pref_free_pending = 0;
+    // Union of preferred nodes over pending tasks (ascending, deduped),
+    // built lazily once per try_assign (stamped with the offer epoch). It
+    // may over-approximate as tasks dispatch within one call; pick_task_for
+    // re-validates, so stale entries cost a failed pick, never a wrong one.
+    std::vector<int> pref_nodes;
+    uint64_t pref_epoch = 0;
     bool failed = false;
     bool held = false;  // parked during lineage recovery
     bool locality_timer_armed = false;
@@ -271,8 +280,6 @@ class TaskScheduler {
     size_t state_index(int partition) const noexcept {
       return static_cast<size_t>(task_index[static_cast<size_t>(partition)]);
     }
-    void pending_remove(size_t task_idx) noexcept;
-    void pending_insert(size_t task_idx);
   };
 
   TaskSet* find_set(uint64_t id) noexcept;
@@ -280,6 +287,31 @@ class TaskScheduler {
   /// mode; valid until the next submit/finish/erase.
   const std::vector<TaskSet*>& offer_order();
   void try_assign();
+  // Exhaustive offer loop: every executor x every set. Kept for modes whose
+  // eligibility is executor-specific (speculation copy placement, per-set
+  // blacklists); also the semantic reference for try_assign_fast.
+  void try_assign_scan();
+  // Sparse offer loop producing the identical dispatch and event sequence:
+  // only executors with free slots are visited (free_bits_), and only when
+  // some set could actually hand them a task (pref_free_pending / locality
+  // candidates). O(dispatches), not O(executors x sets).
+  void try_assign_fast();
+  bool offer_to(size_t exec_idx);
+  bool set_wait_over(const TaskSet& set) const noexcept;
+  bool any_generic_set() const noexcept;
+  void build_candidates();
+  const std::vector<int>& pref_union(TaskSet& set);
+  void arm_locality_timer(TaskSet& set);
+  void arm_deferred_timers();
+  void pending_remove(TaskSet& set, size_t task_idx) noexcept;
+  void pending_insert(TaskSet& set, size_t task_idx);
+  void pending_clear(TaskSet& set) noexcept;
+  void update_free_bit(size_t exec_idx) noexcept;
+  bool exec_free(size_t exec_idx) const noexcept {
+    return (free_bits_[exec_idx >> 6] >> (exec_idx & 63)) & 1u;
+  }
+  size_t next_free_exec(size_t from) const noexcept;
+  int exec_index_of(int node_id) const noexcept;
   std::optional<size_t> pick_task_for(TaskSet& set, size_t exec_idx);
   void dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
                 bool speculative);
@@ -293,6 +325,17 @@ class TaskScheduler {
 
   sim::Simulation& sim_;
   std::vector<ExecState> execs_;
+  // Bit e set iff execs_[e] can accept a task (active, assigned <
+  // advertised) — lets the offer loop skip straight to executors with free
+  // slots instead of scanning all of them (a 10k-node cluster is mostly
+  // idle or mostly full at any instant).
+  std::vector<uint64_t> free_bits_;
+  std::vector<int32_t> node_to_exec_;  // node id -> execs_ index (-1: none)
+  // Pending tasks across all in-flight sets; 0 means an offer pass cannot
+  // dispatch anything and try_assign returns without touching executors.
+  int64_t pending_total_ = 0;
+  uint64_t offer_epoch_ = 0;           // stamps per-set pref_nodes caches
+  std::vector<size_t> cand_scratch_;   // reused by build_candidates()
   Options options_;
   SchedulingMode mode_ = SchedulingMode::kFifo;
   std::vector<PoolSpec> pool_specs_{PoolSpec{}};

@@ -14,8 +14,6 @@ Network::Network(sim::Simulation& sim, int num_nodes, NetworkParams params)
       params_(params),
       up_count_(static_cast<size_t>(num_nodes), 0),
       down_count_(static_cast<size_t>(num_nodes), 0),
-      open_(static_cast<size_t>(num_nodes),
-            std::vector<int>(static_cast<size_t>(num_nodes), 0)),
       open_count_(static_cast<size_t>(num_nodes), 0),
       open_senders_(static_cast<size_t>(num_nodes), 0),
       sent_(static_cast<size_t>(num_nodes), 0) {}

@@ -19,7 +19,9 @@
 // between flow arrivals/departures.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -99,15 +101,25 @@ class Network {
 
   double flow_rate(const Flow& f) const noexcept;
   void advance_and_reschedule();
-  void open_inc(NodeId src, NodeId dst) noexcept {
-    if (open_[static_cast<size_t>(dst)][static_cast<size_t>(src)]++ == 0) {
+  static uint64_t open_key(NodeId src, NodeId dst) noexcept {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(dst)) << 32) |
+           static_cast<uint32_t>(src);
+  }
+  void open_inc(NodeId src, NodeId dst) {
+    if (open_[open_key(src, dst)]++ == 0) {
       ++open_senders_[static_cast<size_t>(dst)];
     }
     ++open_count_[static_cast<size_t>(dst)];
   }
-  void open_dec(NodeId src, NodeId dst) noexcept {
-    if (--open_[static_cast<size_t>(dst)][static_cast<size_t>(src)] == 0) {
+  void open_dec(NodeId src, NodeId dst) {
+    const auto it = open_.find(open_key(src, dst));
+    // An unbalanced dec (no prior open_inc) is an invariant violation; fail
+    // loudly under debug instead of dereferencing end().
+    assert(it != open_.end() && it->second > 0);
+    if (it == open_.end()) return;
+    if (--it->second == 0) {
       --open_senders_[static_cast<size_t>(dst)];
+      open_.erase(it);
     }
     --open_count_[static_cast<size_t>(dst)];
   }
@@ -119,10 +131,12 @@ class Network {
   std::vector<Flow> flows_;
   std::vector<int> up_count_;
   std::vector<int> down_count_;
-  // open_[dst][src]: open requests (registered fetches + active transfers).
-  // The per-dst rollups (total requests + distinct senders) are maintained
-  // incrementally so flow_rate() is O(1), not O(nodes).
-  std::vector<std::vector<int>> open_;
+  // open_[(dst,src)]: open requests (registered fetches + active transfers),
+  // stored sparsely so a 10k-node cluster does not pay O(nodes^2) memory for
+  // a matrix that is almost entirely zero. Entries are erased when they drop
+  // back to zero. The per-dst rollups (total requests + distinct senders)
+  // are maintained incrementally so flow_rate() is O(1), not O(nodes).
+  std::unordered_map<uint64_t, int> open_;
   std::vector<int> open_count_;    // Σ_src open_[dst][src]
   std::vector<int> open_senders_;  // #{src : open_[dst][src] > 0}
   std::vector<sim::Callback> finished_scratch_;

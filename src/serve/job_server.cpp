@@ -273,10 +273,8 @@ ServeReport JobServer::drain() {
   assert(running_.empty() && queue_.empty() &&
          "drained simulation with jobs still outstanding");
 
-  ServeReport out;
-  out.mode = options_.mode == engine::SchedulingMode::kFair ? "FAIR" : "FIFO";
-  out.jobs = records_;
-  out.submitted = static_cast<int>(records_.size());
+  ServeReport out =
+      build_serve_report(records_, options_.mode, ctx_->scheduler().pools());
   out.executors_granted = allocation_->granted_total();
   out.executors_released = allocation_->released_total();
   out.executors_lost = ctx_->scheduler().dead_executor_count();
@@ -291,13 +289,23 @@ ServeReport JobServer::drain() {
       .set(static_cast<double>(sched.executor_lost_failures()));
   metrics_.gauge("serve/fault/speculative_launches")
       .set(static_cast<double>(sched.speculative_launches()));
+  return out;
+}
+
+ServeReport build_serve_report(
+    std::vector<JobRecord> records, engine::SchedulingMode mode,
+    const std::vector<engine::PoolSpec>& pool_specs) {
+  ServeReport out;
+  out.mode = mode == engine::SchedulingMode::kFair ? "FAIR" : "FIFO";
+  out.jobs = std::move(records);
+  out.submitted = static_cast<int>(out.jobs.size());
 
   double first_submit = 0.0, last_finish = 0.0;
   std::vector<double> all_waits;
   std::map<std::string, PoolStats> pools;
   std::map<std::string, std::vector<double>> pool_waits, pool_spans;
   bool first = true;
-  for (const JobRecord& rec : records_) {
+  for (const JobRecord& rec : out.jobs) {
     switch (rec.admission) {
       case Admission::kRejectedQueueFull: ++out.rejected_queue_full; continue;
       case Admission::kRejectedClientQuota: ++out.rejected_client_quota; continue;
@@ -330,7 +338,7 @@ ServeReport JobServer::drain() {
   // Per-pool rollup + Jain fairness over weight-normalized service.
   double share_sum = 0.0, share_sq = 0.0;
   for (auto& [name, pool] : pools) {
-    for (const engine::PoolSpec& spec : ctx_->scheduler().pools()) {
+    for (const engine::PoolSpec& spec : pool_specs) {
       if (spec.name == name) {
         pool.weight = spec.weight;
         pool.min_share = spec.min_share;

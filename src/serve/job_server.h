@@ -127,6 +127,15 @@ struct ServeReport {
   std::string render_jobs() const;
 };
 
+/// Builds the record-derived part of a ServeReport (admission counts,
+/// per-pool rollups, percentiles, Jain fairness) from finished job records.
+/// Shared by JobServer::drain() and the sharded merge (src/shard/), so a
+/// merged multi-shard report aggregates byte-for-byte like a serial one.
+/// Executor counters (granted/released/lost) are the caller's to fill.
+ServeReport build_serve_report(std::vector<JobRecord> records,
+                               engine::SchedulingMode mode,
+                               const std::vector<engine::PoolSpec>& pool_specs);
+
 class JobServer {
  public:
   using Builder = std::function<engine::Rdd(engine::SparkContext&)>;

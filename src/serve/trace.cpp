@@ -1,6 +1,7 @@
 #include "serve/trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/format.h"
@@ -20,11 +21,31 @@ std::vector<TraceJob> make_trace(const TraceOptions& options) {
   Rng mix = rng.fork("mix");
   Rng clients = rng.fork("clients");
 
+  const bool pareto = options.arrival == "pareto";
+  if (!pareto && options.arrival != "exp") {
+    throw std::invalid_argument(strfmt::format(
+        "unknown arrival distribution '{}' (valid: exp, pareto)",
+        options.arrival));
+  }
+  if (pareto && options.pareto_shape <= 1.0) {
+    throw std::invalid_argument(
+        "pareto arrival shape must be > 1 (finite mean)");
+  }
+  // Lomax(alpha, lambda) via inverse CDF with mean lambda / (alpha - 1);
+  // lambda is solved from the requested mean gap.
+  const double alpha = options.pareto_shape;
+  const double lambda = options.mean_interarrival * (alpha - 1.0);
+  auto next_gap = [&]() {
+    if (!pareto) return arrivals.exponential(options.mean_interarrival);
+    const double u = arrivals.next_double();  // in [0, 1)
+    return lambda * (std::pow(1.0 - u, -1.0 / alpha) - 1.0);
+  };
+
   std::vector<TraceJob> trace;
   trace.reserve(static_cast<size_t>(options.num_jobs));
   double t = 0.0;
   for (int i = 0; i < options.num_jobs; ++i) {
-    t += arrivals.exponential(options.mean_interarrival);
+    t += next_gap();
     TraceJob job;
     job.id = i;
     job.arrival_time = t;

@@ -1,8 +1,9 @@
 // Seeded multi-tenant arrival traces for the job server.
 //
 // A trace is a list of (arrival time, client, pool, workload template) rows
-// drawn from a single Rng seed: exponential inter-arrival times (bursty, as
-// in production Spark clusters) and a small/large workload mix. Small
+// drawn from a single Rng seed: exponential or heavy-tailed (Pareto/Lomax)
+// inter-arrival times (bursty, as in production Spark clusters) and a
+// small/large workload mix. Small
 // interactive jobs (scan / aggregation over a shared small table) go to the
 // "interactive" pool; heavy batch jobs (sort / join over a shared big table)
 // go to "batch". Inputs are shared DFS files loaded once; each job writes a
@@ -26,7 +27,13 @@ struct TraceJob {
 
 struct TraceOptions {
   int num_jobs = 50;
-  double mean_interarrival = 3.0;  // seconds (exponential)
+  double mean_interarrival = 3.0;  // seconds (mean of the chosen law)
+  // Inter-arrival law: "exp" (memoryless bursts) or "pareto" (heavy-tailed
+  // Lomax gaps — long quiet spells punctuated by dense arrival storms, the
+  // shape production multi-tenant traces show). Both laws are scaled so the
+  // mean gap equals mean_interarrival.
+  std::string arrival = "exp";
+  double pareto_shape = 1.5;       // Lomax alpha (> 1 so the mean exists)
   double small_fraction = 0.6;     // share of interactive jobs
   int num_clients = 4;
   uint64_t seed = 42;

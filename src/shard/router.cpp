@@ -1,0 +1,80 @@
+#include "shard/router.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+#include "conf/config.h"
+
+namespace saex::shard {
+namespace {
+
+uint64_t fnv1a(std::string_view s) noexcept {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: decorrelates the seeded client hash so shard
+// assignment is uniform even for sequential client names ("client0"..).
+uint64_t mix(uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+JobRouter::JobRouter(int shards, std::string placement, uint64_t seed)
+    : shards_(shards), placement_(std::move(placement)), seed_(seed) {
+  if (placement_ != "hash" && placement_ != "least" && placement_ != "rr") {
+    throw conf::ConfigError(strfmt::format(
+        "unknown shard placement '{}' (valid: hash, least, rr)", placement_));
+  }
+}
+
+double JobRouter::workload_cost(const std::string& workload) noexcept {
+  if (workload == "scan") return 1.0;
+  if (workload == "aggregation") return 2.0;
+  if (workload == "sort") return 10.0;
+  if (workload == "join") return 12.0;
+  return 1.0;
+}
+
+std::vector<int> JobRouter::route(
+    const std::vector<serve::TraceJob>& trace) const {
+  std::vector<int> placement(trace.size(), 0);
+  if (shards_ <= 1) return placement;
+
+  if (placement_ == "rr") {
+    for (size_t i = 0; i < trace.size(); ++i) {
+      placement[i] = static_cast<int>(trace[i].id % shards_);
+    }
+    return placement;
+  }
+  if (placement_ == "hash") {
+    for (size_t i = 0; i < trace.size(); ++i) {
+      placement[i] = static_cast<int>(mix(fnv1a(trace[i].client) ^ seed_) %
+                                      static_cast<uint64_t>(shards_));
+    }
+    return placement;
+  }
+  // least: greedy in arrival order over estimated outstanding cost.
+  std::vector<double> load(static_cast<size_t>(shards_), 0.0);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    int best = 0;
+    for (int s = 1; s < shards_; ++s) {
+      if (load[static_cast<size_t>(s)] < load[static_cast<size_t>(best)]) {
+        best = s;
+      }
+    }
+    placement[i] = best;
+    load[static_cast<size_t>(best)] += workload_cost(trace[i].workload);
+  }
+  return placement;
+}
+
+}  // namespace saex::shard

@@ -1,0 +1,42 @@
+// Cross-shard job router: places each trace job on one shard before the run
+// starts, deterministically under a seed.
+//
+// Policies:
+//   hash   — seeded hash of the client name; a tenant keeps session affinity
+//            with one shard, so per-client quotas stay exact.
+//   least  — greedy least-estimated-load in arrival order using a relative
+//            workload cost model; ties break to the lowest shard id.
+//   rr     — round-robin by trace job id.
+//
+// All three are pure functions of (trace, shard count, policy, seed): the
+// placement never reads simulation state, so the sharded run is reproducible
+// and the router itself cannot introduce nondeterminism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/trace.h"
+
+namespace saex::shard {
+
+class JobRouter {
+ public:
+  /// Throws conf::ConfigError on an unknown placement policy.
+  JobRouter(int shards, std::string placement, uint64_t seed);
+
+  /// Shard id per trace job, indexed by position in `trace`.
+  std::vector<int> route(const std::vector<serve::TraceJob>& trace) const;
+
+  /// Relative service-cost estimate used by least-loaded placement (scan is
+  /// the unit; shuffle-heavy big-table jobs cost an order of magnitude more).
+  static double workload_cost(const std::string& workload) noexcept;
+
+ private:
+  int shards_;
+  std::string placement_;
+  uint64_t seed_;
+};
+
+}  // namespace saex::shard

@@ -1,0 +1,173 @@
+#include "shard/sharded_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/format.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace saex::shard {
+
+ShardedServer::ShardedServer(const hw::ClusterSpec& spec,
+                             const conf::Config& config)
+    : config_(config),
+      options_(ShardOptions::from_config(config)),
+      topology_(spec.num_nodes, options_.count),
+      spec_(spec) {
+  shards_.reserve(static_cast<size_t>(options_.count));
+  for (int s = 0; s < options_.count; ++s) {
+    Shard shard;
+    hw::ClusterSpec sub = spec;
+    sub.num_nodes = topology_.shard_size(s);
+    // base seed + shard id: shard 0 of a 1-shard run reproduces the serial
+    // cluster exactly; distinct shards draw distinct heterogeneity streams.
+    sub.seed = spec.seed + static_cast<uint64_t>(s);
+    shard.cluster = std::make_unique<hw::Cluster>(sub);
+    shard.ctx = std::make_unique<engine::SparkContext>(*shard.cluster,
+                                                       shard_config(s));
+    shard.server = std::make_unique<serve::JobServer>(*shard.ctx);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedServer::~ShardedServer() = default;
+
+conf::Config ShardedServer::shard_config(int shard) const {
+  conf::Config config = config_;
+  // Fault flags name GLOBAL node ids; the owning shard sees the local id,
+  // every other shard sees the fault disabled. (killAfterTasks counts tasks
+  // on the owning shard's scheduler.)
+  for (const char* key : {"saex.fault.killNode", "saex.fault.slowNode"}) {
+    const int node = static_cast<int>(config.get_int(key));
+    if (node < 0 || node >= topology_.total_nodes()) continue;
+    config.set_int(key, topology_.shard_of(node) == shard
+                            ? topology_.local_node(node)
+                            : -1);
+  }
+  // Per-job task counts should match the shard's core count, not the whole
+  // cluster's; untouched when unset (and exact at one shard).
+  if (config.is_set("spark.default.parallelism")) {
+    const int64_t p = config.get_int("spark.default.parallelism");
+    config.set_int(
+        "spark.default.parallelism",
+        std::max<int64_t>(1, p * topology_.shard_size(shard) /
+                                 topology_.total_nodes()));
+  }
+  return config;
+}
+
+double ShardedServer::lookahead() const noexcept {
+  return options_.window > 0.0 ? options_.window
+                               : std::numeric_limits<double>::infinity();
+}
+
+ShardedServeReport ShardedServer::replay(
+    const std::vector<serve::TraceJob>& trace,
+    const serve::TraceOptions& trace_options) {
+  const int num_shards = topology_.shards();
+  const JobRouter router(num_shards, options_.placement, trace_options.seed);
+
+  ShardedServeReport out;
+  out.placement = router.route(trace);
+  out.placement_policy = options_.placement;
+  out.workers = options_.workers;
+  out.lookahead = lookahead();
+
+  // Split the trace; jobs keep their global ids and arrival times.
+  std::vector<std::vector<serve::TraceJob>> sub(
+      static_cast<size_t>(num_shards));
+  for (size_t i = 0; i < trace.size(); ++i) {
+    sub[static_cast<size_t>(out.placement[i])].push_back(trace[i]);
+  }
+
+  // Schedule every shard's inputs and arrival events WITHOUT draining —
+  // mirrors JobServer::replay up to (but not including) drain(), so a
+  // 1-shard run replays the exact serial event sequence.
+  for (int s = 0; s < num_shards; ++s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    serve::load_trace_inputs(*shard.ctx, trace_options);
+    sim::Simulation& sim = shard.cluster->sim();
+    serve::JobServer* server = shard.server.get();
+    for (const serve::TraceJob& job : sub[static_cast<size_t>(s)]) {
+      const serve::TraceJob copy = job;
+      sim.schedule_at(job.arrival_time, [server, copy] {
+        server->submit(strfmt::format("{}#{}", copy.workload, copy.id),
+                       copy.client, copy.pool,
+                       [copy](engine::SparkContext& ctx) {
+                         return serve::build_trace_job(ctx, copy);
+                       });
+      });
+    }
+  }
+
+  // Advance all shard kernels to completion in conservative time windows.
+  TimeWindowRunner::Options ropts;
+  ropts.lookahead = out.lookahead;
+  ropts.workers = options_.workers;
+  std::vector<sim::Simulation*> sims;
+  sims.reserve(shards_.size());
+  for (Shard& shard : shards_) sims.push_back(&shard.cluster->sim());
+  const TimeWindowRunner::Result run = TimeWindowRunner::run(sims, ropts);
+  out.windows = run.windows;
+  out.events = run.events;
+
+  // Per-shard reports (drain() on an empty kernel only aggregates).
+  out.shards.reserve(shards_.size());
+  out.stats.reserve(shards_.size());
+  for (int s = 0; s < num_shards; ++s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    out.shards.push_back(shard.server->drain());
+    ShardStats stats;
+    stats.shard = s;
+    stats.nodes = topology_.shard_size(s);
+    stats.jobs = static_cast<int>(sub[static_cast<size_t>(s)].size());
+    stats.events = shard.cluster->sim().processed();
+    out.stats.push_back(stats);
+  }
+
+  // Merge records back into global submission order. Shard s's j-th record
+  // is sub[s][j]'s outcome (per-shard submission order follows the FIFO
+  // arrival schedule), so a cursor walk re-labels them with global ids.
+  std::vector<serve::JobRecord> merged(trace.size());
+  std::vector<size_t> cursor(static_cast<size_t>(num_shards), 0);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const auto s = static_cast<size_t>(out.placement[i]);
+    merged[i] = out.shards[s].jobs[cursor[s]++];
+    merged[i].submission_id = static_cast<int>(i);
+  }
+  out.merged = serve::build_serve_report(
+      std::move(merged), shards_[0].server->options().mode,
+      shards_[0].ctx->scheduler().pools());
+  for (const serve::ServeReport& report : out.shards) {
+    out.merged.executors_granted += report.executors_granted;
+    out.merged.executors_released += report.executors_released;
+    out.merged.executors_lost += report.executors_lost;
+  }
+  return out;
+}
+
+std::string ShardedServeReport::render() const {
+  std::ostringstream out;
+  out << merged.render() << "\n\n";
+  out << strfmt::format(
+      "shards {}  workers {}  placement {}  lookahead {}  windows {}"
+      "  events {}\n",
+      static_cast<int>(shards.size()), workers, placement_policy,
+      std::isinf(lookahead) ? std::string("unbounded")
+                            : format_duration(lookahead),
+      windows, static_cast<int64_t>(events));
+  TextTable table({"shard", "nodes", "jobs", "events"});
+  for (const ShardStats& s : stats) {
+    table.add_row({strfmt::format("{}", s.shard), strfmt::format("{}", s.nodes),
+                   strfmt::format("{}", s.jobs),
+                   strfmt::format("{}", static_cast<int64_t>(s.events))});
+  }
+  out << table.render();
+  return out.str();
+}
+
+}  // namespace saex::shard

@@ -1,0 +1,55 @@
+#include "shard/sync.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "harness/harness.h"
+
+namespace saex::shard {
+
+TimeWindowRunner::Result TimeWindowRunner::run(
+    const std::vector<sim::Simulation*>& sims, const Options& options) {
+  Result result;
+  if (sims.empty()) return result;
+  const int workers =
+      std::min<int>(std::max(options.workers, 1), static_cast<int>(sims.size()));
+
+  for (;;) {
+    // Global safe horizon: no kernel holds an event earlier than t_min, so
+    // every kernel may process up to t_min + lookahead without risking a
+    // causality violation from a peer.
+    double t_min = std::numeric_limits<double>::infinity();
+    for (sim::Simulation* sim : sims) {
+      t_min = std::min(t_min, sim->next_time());
+    }
+    if (std::isinf(t_min)) break;  // all kernels drained
+
+    const bool unbounded = std::isinf(options.lookahead);
+    const double horizon = unbounded ? 0.0 : t_min + options.lookahead;
+    ++result.windows;
+
+    std::vector<std::function<int()>> tasks;
+    tasks.reserve(sims.size());
+    for (sim::Simulation* sim : sims) {
+      tasks.push_back([sim, unbounded, horizon]() -> int {
+        if (unbounded) {
+          sim->run();
+        } else {
+          sim->run_until(horizon);
+        }
+        return 0;
+      });
+    }
+    // run_ordered is a barrier: every kernel reaches the horizon before the
+    // next window's t_min is computed. Kernels are independent, so the
+    // result is the same for any worker count.
+    harness::run_ordered<int>(std::move(tasks), workers);
+    if (unbounded) break;  // one window drained everything
+  }
+
+  for (sim::Simulation* sim : sims) result.events += sim->processed();
+  return result;
+}
+
+}  // namespace saex::shard

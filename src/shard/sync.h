@@ -1,0 +1,51 @@
+// Conservative time-window synchronization for parallel shard kernels.
+//
+// Classic Chandy–Misra–Bryant reasoning: a shard may safely process every
+// event with timestamp < T + L, where T is the minimum next-event time across
+// all shards and L is the lookahead — the minimum delay before any shard can
+// causally affect another. In this codebase cross-shard influence can only
+// travel through hw::Network transfers, whose setup latency bounds L from
+// below; a sharded serve run routes each job entirely onto one shard, so no
+// cross-shard channels exist at all and L is effectively infinite — every
+// kernel runs to completion independently (the fast path, one window).
+//
+// A finite lookahead (forced via saex.shard.window, or derived from the
+// network latency if cross-shard channels are ever registered) produces the
+// general protocol: all kernels advance to the horizon min-next-event + L,
+// barrier, recompute, repeat. Because shards share no mutable state inside a
+// window, the outcome is bitwise-identical for any worker count and any
+// window size — which the tests assert.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace saex::shard {
+
+class TimeWindowRunner {
+ public:
+  struct Options {
+    /// Lookahead L in simulated seconds. +infinity (the default when no
+    /// cross-shard channels exist) collapses the protocol to one window in
+    /// which every kernel drains independently.
+    double lookahead = std::numeric_limits<double>::infinity();
+    /// OS worker threads advancing kernels; <= 1 runs them serially in shard
+    /// order on the caller's thread.
+    int workers = 1;
+  };
+
+  struct Result {
+    int windows = 0;        // synchronization rounds executed
+    uint64_t events = 0;    // total events processed across kernels
+  };
+
+  /// Advances every kernel in lookahead-bounded windows until all are
+  /// drained. Kernels must share no mutable state (each shard owns its
+  /// cluster, contexts, and RNG streams).
+  static Result run(const std::vector<sim::Simulation*>& sims,
+                    const Options& options);
+};
+
+}  // namespace saex::shard

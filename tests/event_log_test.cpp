@@ -95,6 +95,21 @@ TEST(EventLog, EngineProducesACoherentLog) {
   }
 }
 
+TEST(EventLog, DisabledViaConfigRecordsNothing) {
+  hw::Cluster cluster(hw::ClusterSpec::das5(2));
+  conf::Config config;
+  config.set("spark.default.parallelism", "8");
+  config.set_bool("saex.eventLog.enabled", false);
+  SparkContext ctx(cluster, config);
+  EXPECT_FALSE(ctx.event_log().enabled());
+  ctx.dfs().load_input("/in", mib(512), 2);
+  (void)ctx.run_job(ctx.text_file("/in").count(), "unlogged");
+  // Disabled, the log stays empty no matter how much runs — it is the only
+  // engine-side state that would otherwise grow per task forever (the knob
+  // exists so 100k-job serve replays have bounded memory).
+  EXPECT_EQ(ctx.event_log().size(), 0u);
+}
+
 TEST(EventLog, DynamicPolicyEmitsResizeEvents) {
   hw::Cluster cluster(hw::ClusterSpec::das5(2));
   conf::Config config;

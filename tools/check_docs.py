@@ -10,9 +10,12 @@
    has a matching bench/<name>.cpp.
 4. Module freshness: every module docs/ARCHITECTURE.md bolds as
    **`src/<name>/`** exists, and every directory under src/ is documented.
-5. Bench-snapshot sync: BENCH_kernel.json and BENCH_engine.json parse and
-   every scenario they record is discussed in docs/PERFORMANCE.md.
-6. Test-count agreement: the test count README.md claims matches the one
+5. Bench-snapshot sync: BENCH_kernel.json, BENCH_engine.json,
+   BENCH_storage.json, and BENCH_serve.json parse and every scenario they
+   record is discussed in docs/PERFORMANCE.md.
+6. Scaling story: docs/SCALING.md exists and is linked from README.md and
+   docs/ARCHITECTURE.md.
+7. Test-count agreement: the test count README.md claims matches the one
    EXPERIMENTS.md records.
 
 Exit code 0 iff everything holds; each violation prints one line.
@@ -138,6 +141,24 @@ def check_storage_bench():
     check_bench_snapshot("BENCH_storage.json", "cache_policies")
 
 
+def check_serve_bench():
+    check_bench_snapshot("BENCH_serve.json", "serve_shard")
+
+
+def check_scaling_doc():
+    """docs/SCALING.md must exist and be reachable from README.md and
+    docs/ARCHITECTURE.md (the scaling story is load-bearing docs, not an
+    orphan page)."""
+    path = os.path.join(ROOT, "docs/SCALING.md")
+    if not os.path.exists(path):
+        fail("docs/SCALING.md: missing")
+        return
+    for source, link in (("README.md", "docs/SCALING.md"),
+                         ("docs/ARCHITECTURE.md", "SCALING.md")):
+        if link not in read(os.path.join(ROOT, source)):
+            fail(f"{source}: no link to {link}")
+
+
 def check_test_count():
     readme = re.search(r"#\s*(\d+)\s+tests", read(os.path.join(ROOT, "README.md")))
     exp = re.search(r"(\d+)/\1 tests pass", read(os.path.join(ROOT, "EXPERIMENTS.md")))
@@ -162,6 +183,8 @@ def main():
     check_kernel_bench()
     check_engine_bench()
     check_storage_bench()
+    check_serve_bench()
+    check_scaling_doc()
     check_test_count()
     if failures:
         print(f"\n{len(failures)} documentation check(s) failed")

@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "storage/eviction.h"
 #include "harness/harness.h"
 #include "serve/job_server.h"
+#include "shard/sharded_server.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -75,6 +77,8 @@ struct Args {
   // serve subcommand
   int serve_jobs = 50;
   double arrival_mean = 3.0;
+  std::string arrival = "exp";
+  double pareto_shape = 1.5;
   std::string mode = "FAIR";
   std::string pools = "interactive:3:16,batch:1:0";
   int max_concurrent = 8;
@@ -82,6 +86,14 @@ struct Args {
   int max_per_client = 0;
   bool dynalloc = false;
   bool jobs_table = false;
+
+  // serve sharding (saex.shard.*): any of these flags selects the sharded
+  // path even at --shards 1 (useful to demo the 1-shard identity).
+  bool sharded = false;
+  int shards = 1;
+  int shard_workers = 1;
+  std::string placement = "hash";
+  double shard_window = 0.0;
 };
 
 void usage() {
@@ -127,6 +139,18 @@ void usage() {
       "\n"
       "  --jobs N            trace length (default 50)\n"
       "  --arrival-mean X    mean inter-arrival seconds, exponential (default 3)\n"
+      "  --arrival LAW       inter-arrival law: exp | pareto (heavy-tailed\n"
+      "                      Lomax gaps, same mean; default exp)\n"
+      "  --pareto-shape A    Lomax tail index, > 1 (default 1.5)\n"
+      "  --shards S          split the cluster across S drivers/event kernels\n"
+      "                      with a cross-shard job router (default 1)\n"
+      "  --workers W         OS threads advancing the shard kernels (0 = all\n"
+      "                      cores); the merged report is identical for any W\n"
+      "  --placement P       shard router policy: hash | least | rr\n"
+      "                      (default hash)\n"
+      "  --window T          force a finite lookahead window of T simulated\n"
+      "                      seconds (default: derived — unbounded, since\n"
+      "                      jobs never span shards)\n"
       "  --mode M            one of: %s (default FAIR)\n"
       "  --pools SPEC        name:weight:minShare,... (default\n"
       "                      interactive:3:16,batch:1:0)\n"
@@ -206,6 +230,22 @@ std::optional<Args> parse(int argc, char** argv) {
       }
     } else if (a == "--arrival-mean") {
       args.arrival_mean = std::atof(value());
+    } else if (a == "--arrival") {
+      args.arrival = value();
+    } else if (a == "--pareto-shape") {
+      args.pareto_shape = std::atof(value());
+    } else if (a == "--shards") {
+      args.shards = std::atoi(value());
+      args.sharded = true;
+    } else if (a == "--workers") {
+      args.shard_workers = harness::resolve_jobs(std::atoi(value()));
+      args.sharded = true;
+    } else if (a == "--placement") {
+      args.placement = value();
+      args.sharded = true;
+    } else if (a == "--window") {
+      args.shard_window = std::atof(value());
+      args.sharded = true;
     } else if (a == "--mode") {
       args.mode = value();
     } else if (a == "--pools") {
@@ -404,11 +444,48 @@ int run_sweep(const Args& args, const workloads::WorkloadSpec& spec) {
   return rc;
 }
 
+// Sharded serve: S driver/kernel stacks behind the job router, advanced on
+// W worker threads. Event logs are per shard (".<shard>" suffix when S > 1).
+int run_serve_sharded(const Args& args, const hw::ClusterSpec& cs,
+                      conf::Config config,
+                      const serve::TraceOptions& trace_options) {
+  config.set_int("saex.shard.count", args.shards);
+  config.set_int("saex.shard.workers", args.shard_workers);
+  config.set("saex.shard.placement", args.placement);
+  config.set("saex.shard.window", strfmt::format("{}", args.shard_window));
+
+  shard::ShardedServer server(cs, config);
+  const shard::ShardedServeReport report =
+      server.replay(serve::make_trace(trace_options), trace_options);
+
+  std::printf("%s\n", report.render().c_str());
+  if (args.jobs_table) std::printf("\n%s\n", report.render_jobs().c_str());
+
+  for (int s = 0; s < server.topology().shards(); ++s) {
+    const std::string suffix =
+        server.topology().shards() > 1 ? strfmt::format(".{}", s) : "";
+    if (!args.eventlog_path.empty()) {
+      const std::string path = args.eventlog_path + suffix;
+      const bool ok = engine::EventLog::write_file(
+          path, server.context(s).event_log().to_json_lines());
+      std::printf("%s event log -> %s\n", ok ? "wrote" : "FAILED to write",
+                  path.c_str());
+    }
+    if (!args.trace_path.empty()) {
+      const std::string path = args.trace_path + suffix;
+      const bool ok = engine::EventLog::write_file(
+          path, server.context(s).event_log().to_chrome_trace());
+      std::printf("%s chrome trace -> %s (open in chrome://tracing)\n",
+                  ok ? "wrote" : "FAILED to write", path.c_str());
+    }
+  }
+  return 0;
+}
+
 int run_serve(const Args& args) {
   hw::ClusterSpec cs = args.ssd ? hw::ClusterSpec::das5_ssd(args.nodes)
                                 : hw::ClusterSpec::das5(args.nodes);
   cs.seed = args.seed;
-  hw::Cluster cluster(cs);
 
   conf::Config config;
   config.set("saex.executor.policy", args.policy);
@@ -429,13 +506,20 @@ int run_serve(const Args& args) {
   }
 
   try {
-    engine::SparkContext ctx(cluster, std::move(config));
-    serve::JobServer server(ctx);
-
     serve::TraceOptions trace_options;
     trace_options.num_jobs = args.serve_jobs;
     trace_options.mean_interarrival = args.arrival_mean;
+    trace_options.arrival = args.arrival;
+    trace_options.pareto_shape = args.pareto_shape;
     trace_options.seed = args.seed;
+
+    if (args.sharded) {
+      return run_serve_sharded(args, cs, std::move(config), trace_options);
+    }
+
+    hw::Cluster cluster(cs);
+    engine::SparkContext ctx(cluster, std::move(config));
+    serve::JobServer server(ctx);
     const serve::ServeReport report =
         server.replay(serve::make_trace(trace_options), trace_options);
 
@@ -456,6 +540,9 @@ int run_serve(const Args& args) {
     }
   } catch (const conf::ConfigError& e) {
     std::fprintf(stderr, "invalid serve configuration: %s\n", e.what());
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "invalid serve trace options: %s\n", e.what());
     return 2;
   }
   return 0;
