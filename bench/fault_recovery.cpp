@@ -9,7 +9,9 @@
 //       beat Spark's default thread configuration.
 //
 // Exit code is non-zero if any criterion fails. `--smoke` shrinks the inputs
-// for CI.
+// for CI; `--json <path>` emits the machine-readable (name, wall seconds,
+// events, events/sec) record guarded by tools/check_bench.py.
+#include <chrono>
 #include <cstring>
 
 #include "bench_common.h"
@@ -20,6 +22,9 @@ using namespace saexbench;
 
 bool g_smoke = false;
 int g_failures = 0;
+BenchJson g_json;
+
+using Clock = std::chrono::steady_clock;
 
 void check(bool ok, const std::string& what) {
   std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
@@ -27,7 +32,9 @@ void check(bool ok, const std::string& what) {
 }
 
 struct AppResult {
-  double runtime = 0.0;
+  double runtime = 0.0;   // simulated seconds
+  double wall = 0.0;      // host seconds
+  uint64_t processed = 0; // simulation events processed
   bool failed = false;
   std::string events;  // full event log, one JSON object per line
 };
@@ -48,14 +55,18 @@ AppResult run_app(const workloads::WorkloadSpec& spec,
 
   engine::SparkContext ctx(cluster, std::move(config));
   AppResult out;
+  const auto t0 = Clock::now();
   try {
     for (const engine::Rdd& action : spec.build(ctx)) {
-      out.runtime += ctx.run_job(action, spec.name).total_runtime;
+      const engine::JobReport report = ctx.run_job(action, spec.name);
+      out.runtime += report.total_runtime;
+      out.processed += report.events_processed;
     }
   } catch (const engine::StageAbortedError& e) {
     std::printf("  job failed: %s\n", e.what());
     out.failed = true;
   }
+  out.wall = std::chrono::duration<double>(Clock::now() - t0).count();
   out.events = ctx.event_log().to_json_lines();
   return out;
 }
@@ -79,6 +90,8 @@ void bench_speculation() {
 
   const AppResult off = run_app(app(), straggler);
   const AppResult on = run_app(app(), with_speculation);
+  g_json.record("fault_straggler", off.wall, off.processed);
+  g_json.record("fault_straggler_spec", on.wall, on.processed);
   const double gain = 100.0 * (off.runtime - on.runtime) / off.runtime;
 
   TextTable t({"speculation", "makespan", "vs off"});
@@ -108,6 +121,7 @@ void bench_kill_recovery() {
     overrides["saex.executor.policy"] = policy;
     const AppResult a = run_app(app(), overrides);
     const AppResult b = run_app(app(), overrides);
+    g_json.record("fault_kill_" + policy, a.wall, a.processed);
     const bool identical = !a.failed && !b.failed && a.runtime == b.runtime &&
                            a.events == b.events;
     runtime[policy] = a.runtime;
@@ -127,9 +141,8 @@ void bench_kill_recovery() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
-  }
+  g_smoke = has_flag(argc, argv, "--smoke");
+  const std::string json_path = json_path_arg(argc, argv);
 
   print_title("Fault recovery",
               "speculation vs stragglers; lineage recovery after an executor "
@@ -142,6 +155,12 @@ int main(int argc, char** argv) {
   bench_speculation();
   bench_kill_recovery();
 
+  int rc = g_failures == 0 ? 0 : 1;
+  if (!json_path.empty()) {
+    const bool ok = g_json.write("fault_recovery", json_path);
+    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", json_path.c_str());
+    if (!ok) rc = 1;
+  }
   std::printf("\n%d criterion failure(s)\n", g_failures);
-  return g_failures == 0 ? 0 : 1;
+  return rc;
 }

@@ -1,0 +1,219 @@
+// serve_resilience — SLO attainment under deterministic chaos churn, across
+// three serve-layer resilience tiers on the sharded serve path:
+//
+//   res_baseline   deadlines recorded for SLO scoring but never enforced, no
+//                  retries, no quarantine: every fault-hit job settles as a
+//                  failure or a deadline miss
+//   res_deadline   deadlines enforced (queued jobs shed, running jobs
+//                  cancelled at the deadline) + seeded retry/backoff: failed
+//                  attempts are re-run while the budget lasts
+//   res_full       + node-health quarantine: the flaky node is circuit-broken
+//                  out of offers, so retries land on healthy executors
+//
+// Every tier replays the SAME seeded trace under the SAME churn: a scripted
+// kill/rejoin timeline (saex.fault.chaos) plus a node whose shuffle fetches
+// drop with p=0.6 (saex.fault.fetchFailNode). The acceptance bar is the
+// paper-shaped ordering: res_full must meet strictly more SLOs than
+// res_baseline, and the whole chaos replay must be bitwise deterministic —
+// the 4-shard merged report identical across 1, 2, and 4 workers.
+//
+// `--json BENCH_resilience.json` emits the machine-readable record guarded
+// by tools/check_bench.py in CI (see docs/PERFORMANCE.md).
+//
+// Usage: serve_resilience [--smoke] [--json <path>]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "shard/sharded_server.h"
+
+namespace {
+
+using namespace saexbench;
+using Clock = std::chrono::steady_clock;
+
+bool g_smoke = false;
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+serve::TraceOptions churn_trace() {
+  serve::TraceOptions t;
+  t.num_jobs = g_smoke ? 200 : 1'500;
+  t.mean_interarrival = g_smoke ? 2.0 : 1.0;
+  t.num_clients = 8;
+  t.seed = 42;
+  t.small_input = mib(256);
+  t.big_input = mib(512);
+  t.dim_input = mib(128);
+  // Per-pool SLOs: tight for interactive scans/aggregations, generous for
+  // batch sorts/joins. Calibrated so the fault-free trace meets nearly all
+  // of them and every miss is churn-attributable.
+  t.interactive_deadline = 45.0;
+  t.batch_deadline = 600.0;
+  return t;
+}
+
+int churn_nodes() { return g_smoke ? 16 : 32; }
+
+// The scripted churn: a rolling kill/rejoin wave across the first four
+// nodes plus one permanently flaky shuffle source (node 1, 60% drop rate).
+// Node ids are GLOBAL; the sharded path rewrites them per shard.
+std::string churn_chaos() {
+  return "kill:2@20,rejoin:2@50,kill:3@60,rejoin:3@90,"
+         "kill:2@120,rejoin:2@150,kill:0@180,rejoin:0@210";
+}
+
+enum class Tier { kBaseline, kDeadlineRetry, kFull };
+
+conf::Config tier_config(Tier tier, int workers) {
+  conf::Config c;
+  c.set_int("spark.default.parallelism", 64);
+  c.set_int("saex.serve.maxConcurrentJobs", 16);
+  c.set_int("saex.serve.maxQueuedJobs", 1 << 20);
+  c.set_int("saex.shard.count", 4);
+  c.set_int("saex.shard.workers", workers);
+  c.set_bool("saex.eventLog.enabled", false);
+
+  c.set_bool("saex.fault.enabled", true);
+  c.set("saex.fault.chaos", churn_chaos());
+  c.set_double("saex.fault.fetchFailProb", 0.6);
+  c.set_int("saex.fault.fetchFailNode", 1);
+
+  switch (tier) {
+    case Tier::kBaseline:
+      c.set_bool("saex.serve.enforceDeadlines", false);
+      break;
+    case Tier::kFull:
+      c.set_bool("saex.resilience.quarantine", true);
+      c.set_int("saex.resilience.quarantineThreshold", 3);
+      c.set("saex.resilience.quarantineWindow", "60s");
+      c.set("saex.resilience.quarantineCooldown", "45s");
+      [[fallthrough]];
+    case Tier::kDeadlineRetry:
+      c.set_int("saex.serve.maxRetries", 2);
+      c.set("saex.serve.retryBackoff", "2s");
+      c.set("saex.serve.retryBackoffMax", "20s");
+      break;
+  }
+  return c;
+}
+
+struct TierRun {
+  double wall = 0.0;
+  uint64_t events = 0;
+  serve::ServeReport merged;
+  std::string witness;  // merged report bytes (determinism witness)
+};
+
+TierRun run_tier(Tier tier, int workers) {
+  const serve::TraceOptions t = churn_trace();
+  hw::ClusterSpec cs = hw::ClusterSpec::das5(churn_nodes());
+  cs.seed = t.seed;
+
+  shard::ShardedServer server(cs, tier_config(tier, workers));
+  const auto t0 = Clock::now();
+  shard::ShardedServeReport report = server.replay(serve::make_trace(t), t);
+
+  TierRun run;
+  run.wall = seconds_since(t0);
+  run.events = report.events;
+  run.witness = report.merged.render() + "\n" + report.render_jobs();
+  run.merged = std::move(report.merged);
+  return run;
+}
+
+double attainment(const serve::ServeReport& r) {
+  return r.slo_tracked > 0
+             ? 100.0 * static_cast<double>(r.slo_met) / r.slo_tracked
+             : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_smoke = has_flag(argc, argv, "--smoke");
+  const std::string json_path = json_path_arg(argc, argv);
+  const int jobs = churn_trace().num_jobs;
+
+  print_title(
+      "serve_resilience",
+      "SLO attainment under scripted kill/rejoin churn + a flaky shuffle "
+      "source, across resilience tiers (none / deadline+retry / + quarantine)",
+      "res_full meets strictly more SLOs than res_baseline; 4-shard chaos "
+      "replay bitwise-identical across 1, 2, and 4 workers");
+  if (g_smoke) std::printf("(smoke inputs)\n");
+  std::printf("trace: %d jobs on %d nodes, churn %s, fetch drops p=0.6 on "
+              "node 1\n", jobs, churn_nodes(), churn_chaos().c_str());
+
+  BenchJson out;
+  const struct {
+    Tier tier;
+    const char* name;
+  } tiers[] = {
+      {Tier::kBaseline, "res_baseline"},
+      {Tier::kDeadlineRetry, "res_deadline"},
+      {Tier::kFull, "res_full"},
+  };
+
+  TextTable table({"tier", "SLO met", "attainment", "shed", "cancelled",
+                   "retries", "quarantines", "failed", "wall"});
+  serve::ServeReport baseline;
+  serve::ServeReport full;
+  for (const auto& [tier, name] : tiers) {
+    const TierRun run = run_tier(tier, /*workers=*/4);
+    out.record(name, run.wall, run.events);
+    const serve::ServeReport& r = run.merged;
+    table.add_row({name, strfmt::format("{}/{}", r.slo_met, r.slo_tracked),
+                   strfmt::format("{:.1f}%", attainment(r)),
+                   strfmt::format("{}", r.shed),
+                   strfmt::format("{}", r.cancelled),
+                   strfmt::format("{}", static_cast<int64_t>(r.retries)),
+                   strfmt::format("{}", r.quarantines),
+                   strfmt::format("{}", r.failed),
+                   strfmt::format("{:.2f}s", run.wall)});
+    check(r.submitted == jobs,
+          strfmt::format("{}: all {} jobs submitted", name, jobs));
+    if (tier == Tier::kBaseline) baseline = r;
+    if (tier == Tier::kFull) full = r;
+  }
+  std::printf("%s", table.render().c_str());
+
+  check(baseline.slo_tracked == full.slo_tracked,
+        "tiers score the same SLO population");
+  check(full.slo_met > baseline.slo_met,
+        strfmt::format("res_full meets strictly more SLOs than res_baseline "
+                       "({} vs {} of {})",
+                       full.slo_met, baseline.slo_met, full.slo_tracked));
+  check(full.retries > 0, "res_full exercised the retry path");
+  check(full.quarantines > 0, "res_full exercised the quarantine breaker");
+
+  // Determinism witness: the merged chaos replay is a pure function of the
+  // scenario (trace, churn, shard count, seed) — worker count must not leak.
+  const TierRun w4 = run_tier(Tier::kFull, /*workers=*/4);
+  const TierRun w2 = run_tier(Tier::kFull, /*workers=*/2);
+  const TierRun w1 = run_tier(Tier::kFull, /*workers=*/1);
+  const bool deterministic =
+      w4.witness == w2.witness && w4.witness == w1.witness;
+  check(deterministic,
+        strfmt::format("4-shard chaos replay identical across 1/2/4 workers "
+                       "({} bytes)", w4.witness.size()));
+
+  int rc = g_failures == 0 ? 0 : 1;
+  if (!json_path.empty()) {
+    const bool ok = out.write("serve_resilience", json_path);
+    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", json_path.c_str());
+    if (!ok) rc = 1;
+  }
+  std::printf("\n%d criterion failure(s)\n", g_failures);
+  return rc;
+}

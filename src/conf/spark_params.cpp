@@ -351,6 +351,35 @@ void define_adaptive_extension(Registry& r) {
   r.define({"saex.serve.allocationTick", c, V::kDurationSeconds, "250ms",
             "Dynamic-allocation evaluation period (backlog and idle-timeout "
             "checks)."});
+  r.define({"saex.serve.defaultDeadline", c, V::kDurationSeconds, "-1",
+            "Relative deadline (from submit) applied to trace jobs that "
+            "carry none of their own; negative disables deadlines."});
+  r.define({"saex.serve.enforceDeadlines", c, V::kBool, "true",
+            "Act on deadlines: shed queued jobs whose deadline lapses, "
+            "cancel running jobs past deadline. False still records SLO "
+            "attainment (observe-only baseline)."});
+  r.define({"saex.serve.maxRetries", c, V::kInt, "0",
+            "Failed/aborted jobs re-enter the admission queue up to this "
+            "many times (0 = a failure settles immediately)."});
+  r.define({"saex.serve.retryBackoff", c, V::kDurationSeconds, "1s",
+            "Base retry delay; retry k waits backoff*2^(k-1) (plus jitter), "
+            "capped by retryBackoffMax."});
+  r.define({"saex.serve.retryBackoffMax", c, V::kDurationSeconds, "30s",
+            "Upper bound on the exponential retry delay."});
+  r.define({"saex.serve.retryJitter", c, V::kDouble, "0.5",
+            "Jitter fraction: the delay is scaled by (1 + jitter*u), u drawn "
+            "per (submission, attempt) from the server seed."});
+  r.define({"saex.resilience.quarantine", c, V::kBool, "false",
+            "Node health circuit breaker: quarantine nodes accumulating "
+            "executor-lost/fetch-failure faults out of offers and dynamic "
+            "allocation (see docs/FAULT_MODEL.md)."});
+  r.define({"saex.resilience.quarantineThreshold", c, V::kInt, "3",
+            "Faults within quarantineWindow that trip a node's breaker."});
+  r.define({"saex.resilience.quarantineWindow", c, V::kDurationSeconds, "30s",
+            "Sliding window over which node faults are counted."});
+  r.define({"saex.resilience.quarantineCooldown", c, V::kDurationSeconds, "60s",
+            "Quarantine duration before a half-open probe; the first task "
+            "outcome on the probed node closes or re-opens the breaker."});
   r.define({"saex.sim.taskFailureProb", c, V::kDouble, "0",
             "Fault injection: probability a task attempt dies partway "
             "through (exercises spark.task.maxFailures retries)."});
@@ -385,6 +414,14 @@ void define_adaptive_extension(Registry& r) {
   r.define({"saex.fault.fetchFailProb", c, V::kDouble, "0",
             "Probability an individual remote shuffle fetch is dropped "
             "(transient network fault); the attempt fails and is retried."});
+  r.define({"saex.fault.fetchFailNode", c, V::kInt, "-1",
+            "Restrict fetchFailProb drops to fetches whose SOURCE is this "
+            "node (a flaky NIC); -1 applies the probability to every "
+            "remote fetch."});
+  r.define({"saex.fault.chaos", c, V::kString, "",
+            "Chaos churn schedule: comma/whitespace-separated "
+            "kill:<node>@<seconds> and rejoin:<node>@<seconds> events "
+            "(# comments allowed); empty disables. See docs/FAULT_MODEL.md."});
   r.define({"saex.storage.policy", c, V::kString, "none",
             "Per-node BlockManager eviction policy: none (no active "
             "eviction; an overflowing write spills its own tail) | lru | "

@@ -110,7 +110,7 @@ SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
   const fault::FaultSpec fault_spec = fault::FaultSpec::from_config(config_);
   fault_state_ = std::make_unique<fault::FaultState>(
       cluster.size(), cluster.spec().seed ^ fault_spec.seed,
-      fault_spec.fetch_fail_prob);
+      fault_spec.fetch_fail_prob, fault_spec.fetch_fail_node);
   env.fault = fault_state_.get();
 
   const int vcores = static_cast<int>(config_.get_int("spark.executor.cores"));
@@ -150,6 +150,10 @@ SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
   if (fault_spec.enabled) {
     fault::FaultPlan::Hooks hooks;
     hooks.kill_executor = [this](int node) { kill_executor(node); };
+    hooks.rejoin_executor = [this](int node) { revive_executor(node); };
+    hooks.node_alive = [this](int node) {
+      return fault_state_->node_alive(node);
+    };
     hooks.degrade_disk = [this](int node, double factor) {
       if (node < 0 || node >= cluster_->size()) {
         SAEX_WARN("ignoring disk degrade on node {}: cluster has nodes 0..{}",
@@ -282,6 +286,7 @@ void SparkContext::kill_executor(int node_id) {
   fault_state_->mark_dead(node_id);
   event_log_.record(
       Event{EventKind::kExecutorLost, now, -1, -1, -1, node_id, 0, {}});
+  if (node_fault_hook_) node_fault_hook_(node_id);
   // Order matters: stop offers first, then fail the running attempts, then
   // drop the map outputs so recovery sees the final loss.
   scheduler_->kill_executor(node_id);
@@ -290,6 +295,24 @@ void SparkContext::kill_executor(int node_id) {
   for (const auto& [shuffle_id, partitions] : lost) {
     recover_shuffle(shuffle_id, partitions);
   }
+}
+
+void SparkContext::revive_executor(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(executors_.size())) {
+    SAEX_WARN("ignoring rejoin of executor {}: cluster has nodes 0..{}",
+              node_id, executors_.size() - 1);
+    return;
+  }
+  if (fault_state_->node_alive(node_id)) return;  // idempotent
+  const double now = cluster_->sim().now();
+  SAEX_WARN("executor {} rejoined at t={:.3f}", node_id, now);
+  fault_state_->mark_alive(node_id);
+  event_log_.record(
+      Event{EventKind::kExecutorRevived, now, -1, -1, -1, node_id, 0, {}});
+  // The runtime must be live before the scheduler revives the slot: revive's
+  // try_assign may dispatch to the node in the same instant.
+  executors_[static_cast<size_t>(node_id)]->revive();
+  scheduler_->revive_executor(node_id);
 }
 
 void SparkContext::record_shuffle_producer(const Stage& stage) {
@@ -324,6 +347,9 @@ FetchFailureAction SparkContext::on_fetch_failure(uint64_t set_id,
     }
     return FetchFailureAction::kCharge;
   }
+  // Either way the failure is blamed on the source node — the health
+  // breaker counts transient drops (flaky NIC) and dead-node fetches alike.
+  if (node_fault_hook_ && src_node >= 0) node_fault_hook_(src_node);
   if (fault_state_->node_alive(src_node)) {
     // Transient seeded drop: the data is still there, charge and retry.
     return FetchFailureAction::kCharge;
@@ -538,6 +564,7 @@ struct SparkContext::JobRun {
   std::map<int, int> pending_parents;  // stage uid -> unfinished parents
   std::map<int, int> event_ordinal;    // stage uid -> application ordinal
   std::set<int> submitted;             // stage uids handed to the scheduler
+  std::map<int, uint64_t> live_sets;   // stage uid -> in-flight task-set id
   int in_flight = 0;
   size_t stages_done = 0;
   JobReport report;
@@ -639,12 +666,13 @@ void SparkContext::submit_stage_of(JobRun& run, Stage& stage) {
   ++run.in_flight;
   const int uid = stage.uid;
   const int job_id = run.job_id;
-  scheduler_->submit_stage(
+  const uint64_t set_id = scheduler_->submit_stage(
       stage, make_tasks(stage), job_id, run.pool,
       [this, job_id, uid](const TaskScheduler::TaskSetResult& result) {
         const auto it = jobs_.find(job_id);
         assert(it != jobs_.end() && "stage completed for a finished job");
         JobRun& r = *it->second;
+        r.live_sets.erase(uid);
         Stage* stage = nullptr;
         for (Stage& s : r.plan.stages) {
           if (s.uid == uid) stage = &s;
@@ -652,6 +680,33 @@ void SparkContext::submit_stage_of(JobRun& run, Stage& stage) {
         assert(stage != nullptr);
         on_stage_finished(r, *stage, result);
       });
+  // on_done never fires synchronously from submit_stage (the first dispatch
+  // crosses the driver->executor message latency), so the id lands before
+  // any completion can erase it.
+  run.live_sets.emplace(uid, set_id);
+}
+
+bool SparkContext::cancel_job(int job_id) {
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  JobRun& run = *it->second;
+  run.report.failed = true;
+  run.report.cancelled = true;
+  // Snapshot: each abort may synchronously fire its stage callback (no
+  // copies in flight), mutating live_sets — and the last one finishes the
+  // job and frees the JobRun.
+  std::vector<uint64_t> sets;
+  sets.reserve(run.live_sets.size());
+  for (const auto& [uid, set_id] : run.live_sets) sets.push_back(set_id);
+  for (const uint64_t set_id : sets) {
+    if (jobs_.count(job_id) == 0) return true;  // finished mid-abort
+    scheduler_->abort_set(set_id);
+  }
+  // Between stages (nothing in flight) the aborted job must still settle.
+  if (const auto again = jobs_.find(job_id); again != jobs_.end()) {
+    maybe_finish_job(*again->second);
+  }
+  return true;
 }
 
 void SparkContext::on_stage_finished(

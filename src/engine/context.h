@@ -96,6 +96,13 @@ class SparkContext {
   /// Jobs submitted via submit_job that have not finished yet.
   int active_jobs() const noexcept { return static_cast<int>(jobs_.size()); }
 
+  /// Cancels an in-flight submit_job run (deadline enforcement): its live
+  /// task sets are aborted (pending tasks dropped, running copies drain and
+  /// their slots are reclaimed) and `on_done` fires with report.failed and
+  /// report.cancelled set. Returns false if the job already finished. The
+  /// completion callback may fire synchronously (no copies in flight).
+  bool cancel_job(int job_id);
+
   ExecutorRuntime& executor(int node_id) {
     return *executors_[static_cast<size_t>(node_id)];
   }
@@ -118,6 +125,21 @@ class SparkContext {
   /// producing stages for the lost shuffle partitions. Idempotent. Called by
   /// the armed FaultPlan (saex.fault.killNode) or directly by tests.
   void kill_executor(int node_id);
+
+  /// Reverses kill_executor for a chaos rejoin (saex.fault.chaos): a fresh,
+  /// empty executor becomes schedulable again on the same node id. Its old
+  /// shuffle outputs and cached partitions stay lost — recovery already ran
+  /// at kill time. Idempotent (no-op on a live node). Called by the armed
+  /// FaultPlan or directly by tests.
+  void revive_executor(int node_id);
+
+  /// Observes node-attributed faults: an executor loss, or a shuffle fetch
+  /// failure blamed on its source node. Feeds the serve layer's node-health
+  /// circuit breaker (resilience::NodeHealthTracker).
+  using NodeFaultHook = std::function<void(int node)>;
+  void set_node_fault_hook(NodeFaultHook hook) {
+    node_fault_hook_ = std::move(hook);
+  }
 
   fault::FaultState& fault_state() noexcept { return *fault_state_; }
   /// Non-null only when saex.fault.enabled is true.
@@ -188,6 +210,7 @@ class SparkContext {
   // Fault injection + lineage recovery.
   std::unique_ptr<fault::FaultState> fault_state_;
   std::unique_ptr<fault::FaultPlan> fault_plan_;
+  NodeFaultHook node_fault_hook_;
   std::map<int, Stage> shuffle_producers_;  // shuffle id -> producing stage
   std::map<int, int> recovering_;           // shuffle id -> in-flight recoveries
   std::map<int, std::vector<uint64_t>> held_sets_;  // parked on recovery

@@ -27,6 +27,12 @@ std::string_view event_kind_name(EventKind kind) noexcept {
     case EventKind::kFetchFailed: return "FetchFailed";
     case EventKind::kStageResubmitted: return "StageResubmitted";
     case EventKind::kDiskDegraded: return "DiskDegraded";
+    case EventKind::kExecutorRevived: return "ExecutorRevived";
+    case EventKind::kNodeQuarantined: return "NodeQuarantined";
+    case EventKind::kNodeReinstated: return "NodeReinstated";
+    case EventKind::kJobShed: return "JobShed";
+    case EventKind::kJobCancelled: return "JobCancelled";
+    case EventKind::kJobRetried: return "JobRetried";
   }
   return "?";
 }
@@ -149,6 +155,9 @@ std::string EventLog::to_chrome_trace() const {
       case EventKind::kExecutorLost:
       case EventKind::kStageResubmitted:
       case EventKind::kDiskDegraded:
+      case EventKind::kExecutorRevived:
+      case EventKind::kNodeQuarantined:
+      case EventKind::kNodeReinstated:
         emit(strfmt::format(
             R"({{"name":"{}","ph":"i","ts":{:.1f},"pid":{},"tid":0,"s":"p"}})",
             std::string(event_kind_name(e.kind)), us, e.node));
@@ -157,6 +166,9 @@ std::string EventLog::to_chrome_trace() const {
       case EventKind::kJobRejected:
       case EventKind::kJobDequeued:
       case EventKind::kFetchFailed:
+      case EventKind::kJobShed:
+      case EventKind::kJobCancelled:
+      case EventKind::kJobRetried:
         break;  // admission/fetch events carry no duration; JSON-lines has them
     }
   }

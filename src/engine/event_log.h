@@ -37,6 +37,13 @@ enum class EventKind {
   kFetchFailed,        // shuffle fetch failed; node = source, value = shuffle
   kStageResubmitted,   // lineage recovery; value = recomputed partitions
   kDiskDegraded,       // slow-node injection; value = factor in percent
+  // saex::resilience (deadlines, retries, node health) events.
+  kExecutorRevived,    // chaos rejoin; node = fresh executor's node id
+  kNodeQuarantined,    // health breaker opened; node = quarantined node
+  kNodeReinstated,     // breaker half-open; node is schedulable (probing)
+  kJobShed,            // queued job's deadline lapsed before it started
+  kJobCancelled,       // running job cancelled at its deadline
+  kJobRetried,         // failed job re-enqueued; value = retry attempt
 };
 
 std::string_view event_kind_name(EventKind kind) noexcept;

@@ -567,6 +567,14 @@ void ExecutorRuntime::kill() {
   }
 }
 
+void ExecutorRuntime::revive() {
+  if (alive_) return;
+  // kill() already dropped the storage and drained (or is draining) the
+  // active runs as kExecutorLost; the replacement process starts empty on
+  // the same node id.
+  alive_ = true;
+}
+
 Bytes ExecutorRuntime::reserve_storage(int cache_id, int partition,
                                        Bytes bytes) {
   if (env_.storage == nullptr) {

@@ -158,6 +158,10 @@ class ExecutorRuntime final : public adaptive::PoolEffector,
   /// executor (messages in flight at kill time) fail the same way. The
   /// executor never comes back — mark it dead in the scheduler too.
   void kill();
+  /// Chaos rejoin: a fresh, empty executor process replaces the killed one
+  /// on the same node id (storage and shuffle state were dropped at kill
+  /// time). No-op on a live executor.
+  void revive();
   bool alive() const noexcept { return alive_; }
 
   /// Reserves cache-storage memory for one chunk of `(cache_id, partition)`;

@@ -62,6 +62,7 @@ struct JobReport {
   int job_id = -1;
   std::string pool;
   bool failed = false;          // a stage aborted (task out of attempts)
+  bool cancelled = false;       // SparkContext::cancel_job (deadline)
   double submit_time = 0.0;
   double first_launch_time = -1.0;  // first task dispatch of any stage
   double finish_time = 0.0;

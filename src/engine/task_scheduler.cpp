@@ -70,7 +70,7 @@ void TaskScheduler::update_free_bit(size_t exec_idx) noexcept {
   const ExecState& es = execs_[exec_idx];
   const uint64_t mask = uint64_t{1} << (exec_idx & 63);
   uint64_t& word = free_bits_[exec_idx >> 6];
-  if (es.active && es.assigned < es.advertised) {
+  if (es.active && !es.quarantined && es.assigned < es.advertised) {
     word |= mask;
   } else {
     word &= ~mask;
@@ -154,6 +154,41 @@ void TaskScheduler::kill_executor(int node_id) {
     es.active = false;
     update_free_bit(static_cast<size_t>(e));
   }
+}
+
+void TaskScheduler::revive_executor(int node_id) {
+  if (const int e = exec_index_of(node_id); e >= 0) {
+    ExecState& es = execs_[static_cast<size_t>(e)];
+    if (!es.dead) return;
+    es.dead = false;
+    es.active = true;
+    update_free_bit(static_cast<size_t>(e));
+    try_assign();
+  }
+}
+
+void TaskScheduler::set_executor_quarantined(int node_id, bool quarantined) {
+  if (const int e = exec_index_of(node_id); e >= 0) {
+    ExecState& es = execs_[static_cast<size_t>(e)];
+    if (es.dead) return;
+    if (es.quarantined == quarantined) return;
+    es.quarantined = quarantined;
+    update_free_bit(static_cast<size_t>(e));
+    if (!quarantined) try_assign();
+  }
+}
+
+bool TaskScheduler::executor_quarantined(int node_id) const {
+  for (const ExecState& es : execs_) {
+    if (es.exec->node_id() == node_id) return es.quarantined;
+  }
+  return false;
+}
+
+int TaskScheduler::quarantined_executor_count() const noexcept {
+  int n = 0;
+  for (const ExecState& es : execs_) n += es.quarantined ? 1 : 0;
+  return n;
 }
 
 bool TaskScheduler::executor_dead(int node_id) const {
@@ -570,7 +605,7 @@ void TaskScheduler::try_assign_scan() {
     progress = false;
     for (size_t e = 0; e < execs_.size(); ++e) {
       ExecState& es = execs_[e];
-      if (!es.active || es.assigned >= es.advertised) continue;
+      if (!es.active || es.quarantined || es.assigned >= es.advertised) continue;
       // Offer the slot to task sets in FIFO/FAIR order; the order is
       // recomputed after every dispatch since running counts moved.
       for (TaskSet* set_ptr : offer_order()) {
@@ -645,7 +680,9 @@ void TaskScheduler::try_assign_fast() {
 void TaskScheduler::dispatch(TaskSet& set, size_t task_idx, size_t exec_idx,
                              bool speculative) {
   ExecState& es = execs_[exec_idx];
-  if (!es.active || es.assigned >= es.advertised) ++dispatch_overcommits_;
+  if (!es.active || es.quarantined || es.assigned >= es.advertised) {
+    ++dispatch_overcommits_;
+  }
   if (es.assigned == 0 && engaged_hook_) {
     engaged_hook_(es.exec->node_id(), set.stage);
     // The hook may have resized the pool synchronously; keep offering
@@ -712,6 +749,10 @@ void TaskScheduler::on_task_finished(uint64_t set_id, const TaskSpec& spec,
   update_free_bit(exec_idx);
   ++tasks_finished_;
   if (task_finish_hook_) task_finish_hook_(tasks_finished_);
+  if (task_outcome_hook_ &&
+      (outcome.success || outcome.failure != TaskFailure::kExecutorLost)) {
+    task_outcome_hook_(es.exec->node_id(), outcome.success);
+  }
 
   TaskSet* set_ptr = find_set(set_id);
   assert(set_ptr != nullptr && "status update for a vanished task set");

@@ -110,6 +110,13 @@ class TaskScheduler {
   /// count — drives count-triggered fault injection (FaultPlan).
   using TaskFinishHook = std::function<void(int64_t finished)>;
 
+  /// Fired after every task status update with the executing node and
+  /// whether the attempt succeeded — probe feedback for the node-health
+  /// circuit breaker (resilience::NodeHealthTracker). Executor-lost
+  /// outcomes are NOT reported here: the node's death is attributed once
+  /// via the kill path, not per stranded attempt.
+  using TaskOutcomeHook = std::function<void(int node_id, bool success)>;
+
   TaskScheduler(sim::Simulation& sim, std::vector<ExecutorRuntime*> executors,
                 Options options);
   // Separate overload: Options' default member initializers are not usable
@@ -155,6 +162,9 @@ class TaskScheduler {
   void set_task_finish_hook(TaskFinishHook hook) {
     task_finish_hook_ = std::move(hook);
   }
+  void set_task_outcome_hook(TaskOutcomeHook hook) {
+    task_outcome_hook_ = std::move(hook);
+  }
 
   // --- fault tolerance -----------------------------------------------------
 
@@ -165,6 +175,20 @@ class TaskScheduler {
   void kill_executor(int node_id);
   bool executor_dead(int node_id) const;
   int dead_executor_count() const noexcept;
+
+  /// Reverses kill_executor for a chaos rejoin: the node's fresh, empty
+  /// executor becomes schedulable again (active, previous advertised size).
+  /// A node that is not dead is left untouched.
+  void revive_executor(int node_id);
+
+  /// Health quarantine (resilience::NodeHealthTracker): a quarantined
+  /// executor keeps its running tasks but receives no offers — like
+  /// deactivation, but orthogonal to dynamic allocation's active flag so
+  /// the two controllers cannot fight over one bit. Ignored for dead
+  /// executors.
+  void set_executor_quarantined(int node_id, bool quarantined);
+  bool executor_quarantined(int node_id) const;
+  int quarantined_executor_count() const noexcept;
 
   /// Parks / unparks a task set: a held set keeps its running copies but
   /// receives no new offers — used while lineage recovery rebuilds the
@@ -233,6 +257,7 @@ class TaskScheduler {
     int assigned = 0;
     bool active = true;
     bool dead = false;
+    bool quarantined = false;  // health breaker open: no offers
   };
 
   struct TaskState {
@@ -342,6 +367,7 @@ class TaskScheduler {
   ExecutorEngagedHook engaged_hook_;
   FetchFailureHook fetch_hook_;
   TaskFinishHook task_finish_hook_;
+  TaskOutcomeHook task_outcome_hook_;
 
   // In-flight task sets, sorted by ascending id (ids are handed out
   // monotonically, so submission order keeps the vector sorted; find is a

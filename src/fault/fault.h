@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -26,6 +28,28 @@
 #include "sim/simulation.h"
 
 namespace saex::fault {
+
+/// One entry of a chaos churn schedule (saex.fault.chaos): an executor is
+/// killed or rejoins (a fresh, empty replacement on the same node id) at an
+/// absolute simulated time.
+struct ChaosEvent {
+  enum class Kind { kKill, kRejoin };
+  Kind kind = Kind::kKill;
+  int node = -1;
+  double time = 0.0;  // absolute simulated seconds
+};
+
+/// Parses a chaos schedule. Entries are `kill:<node>@<seconds>` or
+/// `rejoin:<node>@<seconds>`, separated by commas, whitespace, or newlines;
+/// `#` starts a comment running to end of line (the file form). Entries are
+/// returned sorted by (time, input order). Throws conf::ConfigError on a
+/// malformed entry.
+std::vector<ChaosEvent> parse_chaos(std::string_view spec);
+
+/// Re-serializes a schedule into the canonical comma-separated inline form
+/// (parse_chaos(format_chaos(v)) == v). Used by the sharded serve path to
+/// rewrite global node ids into each shard's local ids.
+std::string format_chaos(const std::vector<ChaosEvent>& events);
 
 struct FaultSpec {
   bool enabled = false;
@@ -37,6 +61,8 @@ struct FaultSpec {
   double slow_factor = 0.3;    // new disk speed factor
   double slow_time = 0.0;      // when the degradation hits
   double fetch_fail_prob = 0.0;  // transient shuffle-fetch drop probability
+  int fetch_fail_node = -1;    // restrict drops to this source node (-1: any)
+  std::vector<ChaosEvent> chaos;  // scripted kill/rejoin timeline
 
   /// Reads every `saex.fault.*` key; inert (enabled=false) by default.
   static FaultSpec from_config(const conf::Config& config);
@@ -47,13 +73,17 @@ struct FaultSpec {
 /// nodes and drop probability 0 it is entirely passive.
 class FaultState {
  public:
-  FaultState(int num_nodes, uint64_t seed, double fetch_fail_prob);
+  FaultState(int num_nodes, uint64_t seed, double fetch_fail_prob,
+             int fetch_fail_node = -1);
 
   bool node_alive(int node) const noexcept {
     return node < 0 || node >= static_cast<int>(alive_.size()) ||
            alive_[static_cast<size_t>(node)];
   }
   void mark_dead(int node);
+  /// Chaos rejoin: the node id is live again (a fresh executor with empty
+  /// storage and no shuffle outputs). Idempotent.
+  void mark_alive(int node);
   int dead_executors() const noexcept { return dead_; }
 
   /// Seeded Bernoulli draw: should this remote shuffle fetch be dropped?
@@ -66,6 +96,7 @@ class FaultState {
   std::vector<char> alive_;
   int dead_ = 0;
   double fetch_fail_prob_;
+  int fetch_fail_node_ = -1;
   Rng rng_;
   int64_t fetch_drops_ = 0;
 };
@@ -77,28 +108,44 @@ class FaultPlan {
     /// Kill an executor (SparkContext::kill_executor): fail its running
     /// attempts, stop offers, drop its shuffle outputs, start recovery.
     std::function<void(int node)> kill_executor;
+    /// Rejoin an executor (SparkContext::revive_executor): a fresh, empty
+    /// executor becomes schedulable again on the same node id. Chaos
+    /// schedules with rejoin events require this hook.
+    std::function<void(int node)> rejoin_executor;
     /// Degrade a node's disk (Node::set_disk_speed_factor + event log).
     std::function<void(int node, double factor)> degrade_disk;
+    /// Liveness predicate (FaultState::node_alive): a kill trigger for a
+    /// node that is already dead must not re-fire, and a rejoin for a live
+    /// node is a no-op.
+    std::function<bool(int node)> node_alive;
   };
 
   FaultPlan(FaultSpec spec, sim::Simulation& sim, Hooks hooks);
 
-  /// Schedules the time triggers. Call once, before the first job.
+  /// Schedules the time triggers (single kill spec + chaos timeline).
+  /// Call once, before the first job.
   void arm();
 
   /// Task-count trigger feed (TaskScheduler's task-finish hook).
   void notify_task_finished(int64_t total_finished);
 
   bool kill_fired() const noexcept { return kill_fired_; }
+  /// Kill-hook invocations (spec + chaos). A node that is already dead when
+  /// its trigger fires is NOT re-killed and does not count.
+  int64_t kills_fired() const noexcept { return kills_fired_; }
+  int64_t rejoins_fired() const noexcept { return rejoins_fired_; }
   const FaultSpec& spec() const noexcept { return spec_; }
 
  private:
-  void fire_kill();
+  void fire_kill(int node);
+  void fire_rejoin(int node);
 
   FaultSpec spec_;
   sim::Simulation& sim_;
   Hooks hooks_;
   bool kill_fired_ = false;
+  int64_t kills_fired_ = 0;
+  int64_t rejoins_fired_ = 0;
 };
 
 }  // namespace saex::fault

@@ -1,0 +1,94 @@
+#include "resilience/health.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace saex::resilience {
+
+HealthOptions HealthOptions::from_config(const conf::Config& config) {
+  HealthOptions h;
+  h.enabled = config.get_bool("saex.resilience.quarantine");
+  h.threshold =
+      static_cast<int>(config.get_int("saex.resilience.quarantineThreshold"));
+  h.window = config.get_duration_seconds("saex.resilience.quarantineWindow");
+  h.cooldown =
+      config.get_duration_seconds("saex.resilience.quarantineCooldown");
+  return h;
+}
+
+NodeHealthTracker::NodeHealthTracker(int num_nodes, HealthOptions options,
+                                     sim::Simulation& sim, Hooks hooks)
+    : options_(options),
+      sim_(sim),
+      hooks_(std::move(hooks)),
+      nodes_(static_cast<size_t>(num_nodes)) {}
+
+bool NodeHealthTracker::quarantined(int node) const noexcept {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return false;
+  return nodes_[static_cast<size_t>(node)].state == State::kOpen;
+}
+
+void NodeHealthTracker::record_fault(int node) {
+  if (!options_.enabled) return;
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return;
+  NodeHealth& health = nodes_[static_cast<size_t>(node)];
+  switch (health.state) {
+    case State::kOpen:
+      return;  // already quarantined; nothing new to learn
+    case State::kHalfOpen:
+      open_breaker(node);  // still flapping — back to quarantine
+      return;
+    case State::kClosed:
+      break;
+  }
+  const double now = sim_.now();
+  health.fault_times.push_back(now);
+  while (!health.fault_times.empty() &&
+         health.fault_times.front() < now - options_.window) {
+    health.fault_times.pop_front();
+  }
+  if (static_cast<int>(health.fault_times.size()) >= options_.threshold) {
+    open_breaker(node);
+  }
+}
+
+void NodeHealthTracker::record_task_outcome(int node, bool success) {
+  if (!options_.enabled) return;
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return;
+  NodeHealth& health = nodes_[static_cast<size_t>(node)];
+  if (health.state != State::kHalfOpen) return;
+  if (success) {
+    health.state = State::kClosed;
+    health.fault_times.clear();
+    ++reinstatements_;
+    SAEX_INFO("health: node {} probe succeeded, breaker closed at {:.3f}s",
+              node, sim_.now());
+  } else {
+    open_breaker(node);
+  }
+}
+
+void NodeHealthTracker::open_breaker(int node) {
+  NodeHealth& health = nodes_[static_cast<size_t>(node)];
+  health.state = State::kOpen;
+  health.fault_times.clear();
+  ++quarantines_;
+  const uint64_t epoch = ++health.epoch;
+  SAEX_INFO("health: quarantining node {} for {:.1f}s at {:.3f}s", node,
+            options_.cooldown, sim_.now());
+  if (hooks_.quarantine) hooks_.quarantine(node);
+  sim_.schedule_after(options_.cooldown, [this, node, epoch] {
+    NodeHealth& h = nodes_[static_cast<size_t>(node)];
+    // A re-open while this timer was pending bumped the epoch; that newer
+    // quarantine runs on its own timer.
+    if (h.epoch != epoch || h.state != State::kOpen) return;
+    h.state = State::kHalfOpen;
+    ++probes_;
+    SAEX_INFO("health: node {} half-open (probing) at {:.3f}s", node,
+              sim_.now());
+    if (hooks_.reinstate) hooks_.reinstate(node);
+  });
+}
+
+}  // namespace saex::resilience

@@ -1,0 +1,87 @@
+// Per-node health circuit breaker (saex.resilience.*).
+//
+// Each node runs the classic three-state breaker:
+//
+//            >= threshold faults within window
+//   closed ────────────────────────────────────▶ open (quarantined)
+//     ▲                                            │ cooldown elapses
+//     │ probe task succeeds                        ▼
+//     └──────────────────────────────────── half-open (probing)
+//                    probe task fails / new fault ──▶ open again
+//
+// Faults are executor-lost and shuffle-fetch-failure events attributed to a
+// node (fed by SparkContext's node-fault hook); probe feedback is the first
+// task outcome observed on the node after reinstatement. While open, the
+// node is excluded from scheduler offers and dynamic-allocation grants via
+// the quarantine/reinstate hooks. All transitions ride the simulation clock,
+// so quarantine decisions replay bitwise from the seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "conf/config.h"
+#include "sim/simulation.h"
+
+namespace saex::resilience {
+
+struct HealthOptions {
+  bool enabled = false;   // saex.resilience.quarantine
+  int threshold = 3;      // saex.resilience.quarantineThreshold
+  double window = 30.0;   // saex.resilience.quarantineWindow (seconds)
+  double cooldown = 60.0; // saex.resilience.quarantineCooldown (seconds)
+
+  static HealthOptions from_config(const conf::Config& config);
+};
+
+class NodeHealthTracker {
+ public:
+  struct Hooks {
+    /// Open: exclude the node from offers (TaskScheduler quarantine flag).
+    std::function<void(int node)> quarantine;
+    /// Half-open: make the node schedulable again so a probe task can land.
+    std::function<void(int node)> reinstate;
+  };
+
+  NodeHealthTracker(int num_nodes, HealthOptions options, sim::Simulation& sim,
+                    Hooks hooks);
+
+  /// An executor-lost or fetch-failure event attributed to `node`. In the
+  /// closed state this may trip the breaker; in half-open it re-opens
+  /// immediately (the node is still flapping); in open it is ignored.
+  void record_fault(int node);
+
+  /// Task outcome observed on `node` — probe feedback. Only meaningful in
+  /// half-open: success closes the breaker (fault history cleared), failure
+  /// re-opens it for another cooldown.
+  void record_task_outcome(int node, bool success);
+
+  bool quarantined(int node) const noexcept;
+
+  int64_t quarantines() const noexcept { return quarantines_; }
+  int64_t probes() const noexcept { return probes_; }
+  int64_t reinstatements() const noexcept { return reinstatements_; }
+
+ private:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct NodeHealth {
+    State state = State::kClosed;
+    std::deque<double> fault_times;  // within the sliding window
+    uint64_t epoch = 0;  // stamps cooldown timers so stale ones are inert
+  };
+
+  void open_breaker(int node);
+
+  HealthOptions options_;
+  sim::Simulation& sim_;
+  Hooks hooks_;
+  std::vector<NodeHealth> nodes_;
+  int64_t quarantines_ = 0;
+  int64_t probes_ = 0;
+  int64_t reinstatements_ = 0;
+};
+
+}  // namespace saex::resilience

@@ -1,0 +1,31 @@
+#include "resilience/resilience.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace saex::resilience {
+
+RetryPolicy RetryPolicy::from_config(const conf::Config& config) {
+  RetryPolicy p;
+  p.max_retries = static_cast<int>(config.get_int("saex.serve.maxRetries"));
+  p.backoff = config.get_duration_seconds("saex.serve.retryBackoff");
+  p.backoff_max = config.get_duration_seconds("saex.serve.retryBackoffMax");
+  p.jitter = config.get_double("saex.serve.retryJitter");
+  return p;
+}
+
+double RetryPolicy::delay(uint64_t seed, int submission_id, int attempt) const {
+  double base = backoff;
+  for (int i = 1; i < attempt && base < backoff_max; ++i) base *= 2.0;
+  base = std::min(base, backoff_max);
+  if (jitter <= 0.0) return base;
+  const double u = Rng(seed)
+                       .fork("serve.retry")
+                       .fork(static_cast<uint64_t>(submission_id))
+                       .fork(static_cast<uint64_t>(attempt))
+                       .next_double();
+  return base * (1.0 + jitter * u);
+}
+
+}  // namespace saex::resilience

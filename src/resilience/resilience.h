@@ -1,0 +1,45 @@
+// saex::resilience — serve-layer resilience building blocks.
+//
+// Two ingredients, both deterministic under the run's seed (see
+// docs/FAULT_MODEL.md):
+//
+//  * RetryPolicy       — seeded exponential backoff + jitter for failed job
+//    re-submission (saex.serve.maxRetries / retryBackoff / retryBackoffMax /
+//    retryJitter). The jitter draw is a pure function of
+//    (seed, submission id, attempt), NOT of global draw order, so a sharded
+//    replay and a rerun produce bitwise-identical schedules.
+//  * NodeHealthTracker — per-node circuit breaker (health.h) quarantining
+//    flapping nodes out of scheduler offers and dynamic allocation.
+//
+// The serve layer (serve::JobServer) wires both through the engine; this
+// module depends on nothing above the simulation kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "conf/config.h"
+
+namespace saex::resilience {
+
+/// Seeded retry with exponential backoff + jitter. Inert at the defaults
+/// (max_retries = 0: a failed job settles as failed on its first attempt).
+struct RetryPolicy {
+  int max_retries = 0;      // saex.serve.maxRetries
+  double backoff = 1.0;     // saex.serve.retryBackoff (base delay, seconds)
+  double backoff_max = 30.0;  // saex.serve.retryBackoffMax (cap)
+  double jitter = 0.5;      // saex.serve.retryJitter (fraction of the base)
+
+  static RetryPolicy from_config(const conf::Config& config);
+
+  /// Delay before re-enqueueing retry `attempt` (1-based: the first retry
+  /// is attempt 1) of submission `submission_id`:
+  ///
+  ///   min(backoff_max, backoff * 2^(attempt-1)) * (1 + jitter * u)
+  ///
+  /// where u ~ U[0,1) is drawn from an Rng forked off `seed` by submission
+  /// id and attempt — no shared stream, so concurrent retries of different
+  /// jobs cannot perturb each other's delays.
+  double delay(uint64_t seed, int submission_id, int attempt) const;
+};
+
+}  // namespace saex::resilience

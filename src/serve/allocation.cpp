@@ -127,9 +127,14 @@ void ExecutorAllocationManager::tick() {
 
 void ExecutorAllocationManager::grant(int count) {
   // Lowest inactive node first (deterministic). Dead executors (fault
-  // injection) are gone for good and must never be re-granted.
+  // injection) are gone until a chaos rejoin revives them, and quarantined
+  // nodes (health breaker open) must not be granted either — a grant would
+  // just hand tasks to the flapping node the breaker excluded.
   for (int n = 0; n < num_executors_ && count > 0; ++n) {
-    if (scheduler_.executor_dead(n) || scheduler_.executor_active(n)) continue;
+    if (scheduler_.executor_dead(n) || scheduler_.executor_quarantined(n) ||
+        scheduler_.executor_active(n)) {
+      continue;
+    }
     scheduler_.set_executor_active(n, true);
     idle_since_[static_cast<size_t>(n)] = -1.0;
     ++granted_total_;

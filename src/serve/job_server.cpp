@@ -19,6 +19,19 @@ std::string_view admission_name(Admission a) noexcept {
     case Admission::kQueued: return "queued";
     case Admission::kRejectedQueueFull: return "rejected:queue-full";
     case Admission::kRejectedClientQuota: return "rejected:client-quota";
+    case Admission::kRejectedDeadlineInfeasible:
+      return "rejected:deadline-infeasible";
+  }
+  return "?";
+}
+
+std::string_view outcome_name(JobOutcome o) noexcept {
+  switch (o) {
+    case JobOutcome::kNone: return "none";
+    case JobOutcome::kFinished: return "ok";
+    case JobOutcome::kFailed: return "FAILED";
+    case JobOutcome::kShedDeadline: return "shed";
+    case JobOutcome::kCancelledDeadline: return "cancelled";
   }
   return "?";
 }
@@ -80,6 +93,10 @@ JobServerOptions JobServerOptions::from_config(const conf::Config& config) {
   }
   o.pools = parse_pools(config.get_string("saex.scheduler.pools"));
   o.allocation = AllocationOptions::from_config(config);
+  o.default_deadline = config.get_duration_seconds("saex.serve.defaultDeadline");
+  o.enforce_deadlines = config.get_bool("saex.serve.enforceDeadlines");
+  o.retry = resilience::RetryPolicy::from_config(config);
+  o.health = resilience::HealthOptions::from_config(config);
   return o;
 }
 
@@ -97,7 +114,11 @@ JobServer::JobServer(engine::SparkContext& ctx, JobServerOptions options)
   jobs_queued_ = metrics_.counter_handle("serve/jobs/queued");
   jobs_finished_ = metrics_.counter_handle("serve/jobs/finished");
   jobs_failed_ = metrics_.counter_handle("serve/jobs/failed");
+  jobs_shed_ = metrics_.counter_handle("serve/jobs/shed");
+  jobs_cancelled_ = metrics_.counter_handle("serve/jobs/cancelled");
+  jobs_retried_ = metrics_.counter_handle("serve/jobs/retried");
   queue_length_ = metrics_.gauge_handle("serve/queue_length");
+  retry_seed_ = ctx_->cluster().spec().seed;
 
   engine::TaskScheduler& sched = ctx_->scheduler();
   sched.set_scheduling_mode(options_.mode);
@@ -118,13 +139,36 @@ JobServer::JobServer(engine::SparkContext& ctx, JobServerOptions options)
       ctx_->cluster().sim(), sched, ctx_->num_executors(), options_.allocation,
       [this] { return has_work(); }, &metrics_, &ctx_->event_log());
   allocation_->start();
+
+  if (options_.health.enabled) {
+    resilience::NodeHealthTracker::Hooks hooks;
+    hooks.quarantine = [this](int node) {
+      ctx_->scheduler().set_executor_quarantined(node, true);
+      ctx_->event_log().record(engine::Event{
+          engine::EventKind::kNodeQuarantined, ctx_->cluster().sim().now(), -1,
+          -1, -1, node, ctx_->scheduler().quarantined_executor_count(), {}});
+    };
+    hooks.reinstate = [this](int node) {
+      ctx_->scheduler().set_executor_quarantined(node, false);
+      ctx_->event_log().record(engine::Event{
+          engine::EventKind::kNodeReinstated, ctx_->cluster().sim().now(), -1,
+          -1, -1, node, ctx_->scheduler().quarantined_executor_count(), {}});
+    };
+    health_ = std::make_unique<resilience::NodeHealthTracker>(
+        ctx_->num_executors(), options_.health, ctx_->cluster().sim(),
+        std::move(hooks));
+    ctx_->set_node_fault_hook([this](int node) { health_->record_fault(node); });
+    sched.set_task_outcome_hook([this](int node, bool success) {
+      health_->record_task_outcome(node, success);
+    });
+  }
 }
 
 JobServer::JobServer(engine::SparkContext& ctx)
     : JobServer(ctx, JobServerOptions::from_config(ctx.config())) {}
 
 bool JobServer::has_work() const noexcept {
-  return !running_.empty() || !queue_.empty();
+  return !running_.empty() || !queue_.empty() || !retry_wait_.empty();
 }
 
 JobServer::PoolRollups& JobServer::pool_rollups(const std::string& pool) {
@@ -151,13 +195,19 @@ int JobServer::client_load(const std::string& client) const noexcept {
 }
 
 Admission JobServer::submit(std::string name, std::string client,
-                            std::string pool, Builder build) {
+                            std::string pool, Builder build, double deadline) {
   const double now = ctx_->cluster().sim().now();
   const int sid = static_cast<int>(records_.size());
+  // Relative deadline: explicit beats the configured default; <0 means none.
+  const double relative = deadline >= 0.0 ? deadline : options_.default_deadline;
 
   Admission admission;
-  if (options_.max_jobs_per_client > 0 &&
-      client_load(client) >= options_.max_jobs_per_client) {
+  if (options_.enforce_deadlines && relative >= 0.0 && relative <= 0.0) {
+    // A zero-second budget cannot be met by any schedule: reject up front
+    // instead of admitting a job we would shed at this very instant.
+    admission = Admission::kRejectedDeadlineInfeasible;
+  } else if (options_.max_jobs_per_client > 0 &&
+             client_load(client) >= options_.max_jobs_per_client) {
     admission = Admission::kRejectedClientQuota;
   } else if (static_cast<int>(running_.size()) < options_.max_concurrent_jobs) {
     admission = Admission::kAccepted;
@@ -174,6 +224,7 @@ Admission JobServer::submit(std::string name, std::string client,
   rec.pool = std::move(pool);
   rec.admission = admission;
   rec.submit_time = now;
+  if (relative >= 0.0) rec.deadline = now + relative;
   ctx_->event_log().record(engine::Event{
       engine::EventKind::kJobSubmitted, now, sid, -1, -1, -1,
       static_cast<int64_t>(admission), rec.name});
@@ -191,6 +242,16 @@ Admission JobServer::submit(std::string name, std::string client,
   }
 
   builders_.emplace(sid, std::move(build));
+  // Deadline enforcement: one timer per deadlined submission. At the
+  // deadline the job is shed (still queued / in retry backoff) or cancelled
+  // (running); a settled job makes the timer a no-op. The timer is scheduled
+  // at submission, so under the kernel's FIFO tie-break it fires BEFORE any
+  // completion event landing at the exact same instant: a dead-heat job is
+  // deterministically cancelled, never racily finished.
+  if (options_.enforce_deadlines && records_.back().deadline >= 0.0) {
+    ctx_->cluster().sim().schedule_at(records_.back().deadline,
+                                      [this, sid] { on_deadline(sid); });
+  }
   if (admission == Admission::kQueued) {
     queue_.push_back(sid);
     jobs_queued_.increment();
@@ -213,11 +274,11 @@ void JobServer::start_job(int submission_id) {
                                            rec.name});
   }
 
+  // The builder stays in builders_ until the submission settles — a retry
+  // attempt rebuilds the plan from it.
   const auto it = builders_.find(submission_id);
   assert(it != builders_.end());
-  Builder build = std::move(it->second);
-  builders_.erase(it);
-  const engine::Rdd action = build(*ctx_);
+  const engine::Rdd action = (it->second)(*ctx_);
   rec.job_id = ctx_->submit_job(
       action, rec.name, rec.pool, [this, submission_id](engine::JobReport r) {
         on_job_finished(submission_id, std::move(r));
@@ -226,10 +287,44 @@ void JobServer::start_job(int submission_id) {
 
 void JobServer::on_job_finished(int submission_id, engine::JobReport report) {
   JobRecord& rec = records_[static_cast<size_t>(submission_id)];
-  rec.finish_time = ctx_->cluster().sim().now();
-  rec.failed = report.failed;
-  rec.report = std::move(report);
+  const double now = ctx_->cluster().sim().now();
   running_.erase(std::find(running_.begin(), running_.end(), submission_id));
+  rec.failed = report.failed;
+  const bool was_cancelled = report.cancelled;
+  rec.report = std::move(report);  // kept per attempt: last attempt's report
+
+  // Seeded retry: a failed (not deadline-cancelled) attempt with budget left
+  // re-enters admission after an exponential-backoff delay. The jitter draw
+  // is a pure function of (seed, submission, attempt) — see RetryPolicy.
+  if (rec.failed && !was_cancelled &&
+      rec.retries < options_.retry.max_retries) {
+    ++rec.retries;
+    rec.retry_times.push_back(now);
+    retry_wait_.insert(submission_id);
+    jobs_retried_.increment();
+    ctx_->event_log().record(engine::Event{
+        engine::EventKind::kJobRetried, now, submission_id, -1, -1, -1,
+        rec.retries, rec.name});
+    const double delay =
+        options_.retry.delay(retry_seed_, submission_id, rec.retries);
+    SAEX_DEBUG("serve: submission {} '{}' retry {} in {:.3f}s", submission_id,
+               rec.name, rec.retries, delay);
+    ctx_->cluster().sim().schedule_after(
+        delay, [this, submission_id] { requeue_retry(submission_id); });
+    pump_queue();  // the failed attempt freed a concurrency slot
+    return;
+  }
+
+  if (was_cancelled) {
+    rec.outcome = JobOutcome::kCancelledDeadline;
+    jobs_cancelled_.increment();
+    ctx_->event_log().record(engine::Event{
+        engine::EventKind::kJobCancelled, now, submission_id, -1, -1, -1,
+        rec.retries, rec.name});
+  } else {
+    rec.outcome = rec.failed ? JobOutcome::kFailed : JobOutcome::kFinished;
+  }
+  settle(rec, now);
 
   jobs_finished_.increment();
   if (rec.failed) jobs_failed_.increment();
@@ -242,6 +337,16 @@ void JobServer::on_job_finished(int submission_id, engine::JobReport report) {
   pool.slot_seconds.add(slot_seconds);
   pool.queue_wait.add(rec.queue_wait());
 
+  pump_queue();
+}
+
+/// Final bookkeeping shared by every way a submission can end.
+void JobServer::settle(JobRecord& rec, double finish_time) {
+  rec.finish_time = finish_time;
+  builders_.erase(rec.submission_id);
+}
+
+void JobServer::pump_queue() {
   while (!queue_.empty() &&
          static_cast<int>(running_.size()) < options_.max_concurrent_jobs) {
     const int next = queue_.front();
@@ -249,6 +354,67 @@ void JobServer::on_job_finished(int submission_id, engine::JobReport report) {
     start_job(next);
   }
   queue_length_.set(static_cast<double>(queue_.size()));
+}
+
+void JobServer::on_deadline(int submission_id) {
+  JobRecord& rec = records_[static_cast<size_t>(submission_id)];
+  if (rec.outcome != JobOutcome::kNone) return;  // already settled
+
+  const auto queued = std::find(queue_.begin(), queue_.end(), submission_id);
+  if (queued != queue_.end()) {
+    queue_.erase(queued);
+    queue_length_.set(static_cast<double>(queue_.size()));
+    shed_job(rec);
+    return;
+  }
+  if (retry_wait_.erase(submission_id) > 0) {
+    shed_job(rec);
+    return;
+  }
+  // Running: cancel through the engine; on_job_finished settles it (the
+  // callback may fire synchronously when no task copies are in flight).
+  if (std::find(running_.begin(), running_.end(), submission_id) !=
+      running_.end()) {
+    SAEX_DEBUG("serve: submission {} '{}' cancelled at deadline {:.3f}s",
+               submission_id, rec.name, rec.deadline);
+    ctx_->cancel_job(rec.job_id);
+  }
+}
+
+/// Load shedding: the deadline lapsed before the job (re)started — it can no
+/// longer meet its SLO, so drop it instead of burning cluster time.
+void JobServer::shed_job(JobRecord& rec) {
+  const double now = ctx_->cluster().sim().now();
+  rec.failed = true;
+  rec.outcome = JobOutcome::kShedDeadline;
+  settle(rec, now);
+  jobs_shed_.increment();
+  ctx_->event_log().record(engine::Event{
+      engine::EventKind::kJobShed, now, rec.submission_id, -1, -1, -1,
+      rec.retries, rec.name});
+  SAEX_DEBUG("serve: submission {} '{}' shed at deadline {:.3f}s",
+             rec.submission_id, rec.name, rec.deadline);
+}
+
+void JobServer::requeue_retry(int submission_id) {
+  if (retry_wait_.erase(submission_id) == 0) return;  // shed meanwhile
+  JobRecord& rec = records_[static_cast<size_t>(submission_id)];
+  // A retry re-enters admission like a fresh arrival, but its original
+  // admission decision stands — only capacity is re-checked.
+  if (static_cast<int>(running_.size()) < options_.max_concurrent_jobs) {
+    start_job(submission_id);
+  } else if (static_cast<int>(queue_.size()) < options_.max_queued_jobs) {
+    queue_.push_back(submission_id);
+    queue_length_.set(static_cast<double>(queue_.size()));
+  } else {
+    // No capacity for the retry: the last attempt's failure is final.
+    rec.outcome = JobOutcome::kFailed;
+    settle(rec, ctx_->cluster().sim().now());
+    jobs_finished_.increment();
+    jobs_failed_.increment();
+    return;
+  }
+  allocation_->notify_work();
 }
 
 ServeReport JobServer::replay(const std::vector<TraceJob>& trace,
@@ -259,9 +425,11 @@ ServeReport JobServer::replay(const std::vector<TraceJob>& trace,
     const TraceJob copy = job;
     sim.schedule_at(job.arrival_time, [this, copy] {
       submit(strfmt::format("{}#{}", copy.workload, copy.id), copy.client,
-             copy.pool, [copy](engine::SparkContext& ctx) {
+             copy.pool,
+             [copy](engine::SparkContext& ctx) {
                return build_trace_job(ctx, copy);
-             });
+             },
+             copy.deadline);
     });
   }
   return drain();
@@ -270,7 +438,7 @@ ServeReport JobServer::replay(const std::vector<TraceJob>& trace,
 ServeReport JobServer::drain() {
   sim::Simulation& sim = ctx_->cluster().sim();
   sim.run();
-  assert(running_.empty() && queue_.empty() &&
+  assert(running_.empty() && queue_.empty() && retry_wait_.empty() &&
          "drained simulation with jobs still outstanding");
 
   ServeReport out =
@@ -278,6 +446,27 @@ ServeReport JobServer::drain() {
   out.executors_granted = allocation_->granted_total();
   out.executors_released = allocation_->released_total();
   out.executors_lost = ctx_->scheduler().dead_executor_count();
+  if (health_ != nullptr) {
+    out.quarantines = static_cast<int>(health_->quarantines());
+    out.probes = static_cast<int>(health_->probes());
+    out.reinstatements = static_cast<int>(health_->reinstatements());
+  }
+
+  // Resilience rollup: how much the deadline/retry/quarantine machinery
+  // intervened in this run.
+  metrics_.gauge("serve/resilience/shed").set(static_cast<double>(out.shed));
+  metrics_.gauge("serve/resilience/cancelled")
+      .set(static_cast<double>(out.cancelled));
+  metrics_.gauge("serve/resilience/retries")
+      .set(static_cast<double>(out.retries));
+  metrics_.gauge("serve/resilience/slo_tracked")
+      .set(static_cast<double>(out.slo_tracked));
+  metrics_.gauge("serve/resilience/slo_met")
+      .set(static_cast<double>(out.slo_met));
+  metrics_.gauge("serve/resilience/quarantines")
+      .set(static_cast<double>(out.quarantines));
+  metrics_.gauge("serve/resilience/reinstatements")
+      .set(static_cast<double>(out.reinstatements));
 
   // Fault-recovery rollup (saex::fault): how perturbed the run was.
   engine::TaskScheduler& sched = ctx_->scheduler();
@@ -309,12 +498,29 @@ ServeReport build_serve_report(
     switch (rec.admission) {
       case Admission::kRejectedQueueFull: ++out.rejected_queue_full; continue;
       case Admission::kRejectedClientQuota: ++out.rejected_client_quota; continue;
+      case Admission::kRejectedDeadlineInfeasible:
+        ++out.rejected_deadline;
+        continue;
       default: break;
+    }
+    out.retries += rec.retries;
+    if (rec.deadline >= 0.0) ++out.slo_tracked;
+    if (rec.outcome == JobOutcome::kShedDeadline) {
+      // Shed before (re)starting: never ran, nothing to roll up.
+      ++out.shed;
+      continue;
     }
     ++out.started;
     if (rec.finish_time < 0.0) continue;
-    ++out.finished;
-    if (rec.failed) ++out.failed;
+    if (rec.outcome == JobOutcome::kCancelledDeadline) {
+      ++out.cancelled;
+    } else {
+      ++out.finished;
+      if (rec.failed) ++out.failed;
+      if (rec.deadline >= 0.0 && !rec.failed && rec.finish_time <= rec.deadline) {
+        ++out.slo_met;
+      }
+    }
     if (out.policy.empty()) out.policy = rec.report.policy_name;
     if (first || rec.submit_time < first_submit) first_submit = rec.submit_time;
     if (first || rec.finish_time > last_finish) last_finish = rec.finish_time;
@@ -391,7 +597,19 @@ std::string ServeReport::render() const {
   if (executors_lost > 0) {
     out << strfmt::format("  faults: {} executor(s) lost", executors_lost);
   }
-  out << "\n\n";
+  out << "\n";
+  // Only rendered when the resilience machinery did anything, so reports of
+  // runs without deadlines/retries/quarantine are byte-identical to before.
+  if (slo_tracked + shed + cancelled + rejected_deadline + quarantines > 0 ||
+      retries > 0) {
+    out << strfmt::format(
+        "resilience: SLO {}/{} met  {} shed, {} cancelled, {} retries,"
+        " {} deadline-rejected  quarantine: {} opened, {} probed,"
+        " {} reinstated\n",
+        slo_met, slo_tracked, shed, cancelled, retries, rejected_deadline,
+        quarantines, probes, reinstatements);
+  }
+  out << "\n";
 
   TextTable table({"pool", "w", "minShare", "jobs", "qwait mean", "qwait p95",
                    "makespan mean", "makespan p95", "slot-secs"});
@@ -414,11 +632,22 @@ std::string ServeReport::render_jobs() const {
                    "makespan", "outcome"});
   for (const JobRecord& rec : jobs) {
     const bool ran = rec.finish_time >= 0.0;
+    std::string outcome;
+    if (!admitted(rec.admission)) {
+      outcome = "rejected";
+    } else if (!ran) {
+      outcome = "-";
+    } else {
+      outcome = std::string(outcome_name(rec.outcome));
+      if (rec.retries > 0) {
+        outcome += strfmt::format(" (r{})", rec.retries);
+      }
+    }
     table.add_row({strfmt::format("{}", rec.submission_id), rec.client,
                    rec.pool, rec.name, std::string(admission_name(rec.admission)),
                    ran ? format_duration(rec.queue_wait()) : "-",
                    ran ? format_duration(rec.makespan()) : "-",
-                   !ran ? "rejected" : rec.failed ? "FAILED" : "ok"});
+                   std::move(outcome)});
   }
   return table.render();
 }

@@ -23,11 +23,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "engine/context.h"
 #include "metrics/registry.h"
+#include "resilience/health.h"
+#include "resilience/resilience.h"
 #include "serve/allocation.h"
 #include "serve/trace.h"
 
@@ -39,12 +42,25 @@ enum class Admission {
   kQueued,              // waiting for a concurrency slot
   kRejectedQueueFull,   // backpressure: queue at saex.serve.maxQueuedJobs
   kRejectedClientQuota, // client exceeded saex.serve.maxJobsPerClient
+  kRejectedDeadlineInfeasible,  // non-positive relative deadline: no
+                                // schedule can meet it, reject up front
 };
 
 std::string_view admission_name(Admission a) noexcept;
 inline bool admitted(Admission a) noexcept {
   return a == Admission::kAccepted || a == Admission::kQueued;
 }
+
+/// How an admitted submission settled.
+enum class JobOutcome {
+  kNone,       // not settled yet (or never admitted)
+  kFinished,   // ran to completion
+  kFailed,     // failed terminally (retry budget exhausted or zero)
+  kShedDeadline,       // deadline lapsed while queued / awaiting retry
+  kCancelledDeadline,  // cancelled mid-run at its deadline
+};
+
+std::string_view outcome_name(JobOutcome o) noexcept;
 
 /// Parses "name:weight:minShare,..." (weight and minShare optional, e.g.
 /// "interactive:3:32,batch"). Throws conf::ConfigError on malformed input.
@@ -58,7 +74,16 @@ struct JobServerOptions {
   std::vector<engine::PoolSpec> pools;
   AllocationOptions allocation;
 
-  /// Reads saex.scheduler.* / saex.serve.* / spark.dynamicAllocation.*.
+  /// Relative deadline applied to submissions that carry none (<0: none).
+  double default_deadline = -1.0;
+  /// When false, deadlines are recorded for SLO accounting but never
+  /// enforced (no shedding, no cancellation) — the bench baseline.
+  bool enforce_deadlines = true;
+  resilience::RetryPolicy retry;
+  resilience::HealthOptions health;
+
+  /// Reads saex.scheduler.* / saex.serve.* / saex.resilience.* /
+  /// spark.dynamicAllocation.*.
   static JobServerOptions from_config(const conf::Config& config);
 };
 
@@ -74,7 +99,12 @@ struct JobRecord {
   double start_time = -1.0;   // left the queue (−1: rejected)
   double finish_time = -1.0;  // report delivered (−1: not finished)
   bool failed = false;
-  engine::JobReport report;
+  JobOutcome outcome = JobOutcome::kNone;
+  double deadline = -1.0;  // absolute sim time (−1: none)
+  int retries = 0;         // completed retry attempts (0 = first try only)
+  // Sim time each failed attempt was retried at (size == retries).
+  std::vector<double> retry_times;
+  engine::JobReport report;  // last attempt's report
 
   /// Submission → first task actually running (the user-visible queue wait:
   /// admission queue + slot wait inside the scheduler).
@@ -109,9 +139,22 @@ struct ServeReport {
   int failed = 0;
   int rejected_queue_full = 0;
   int rejected_client_quota = 0;
+  int rejected_deadline = 0;  // non-positive deadline: infeasible up front
+  int shed = 0;       // deadline lapsed while queued / awaiting retry
+  int cancelled = 0;  // cancelled mid-run at the deadline
+  int64_t retries = 0;  // Σ retry attempts across all jobs
+  // SLO attainment: jobs carrying a deadline (and not rejected) vs those
+  // that finished successfully within it.
+  int slo_tracked = 0;
+  int slo_met = 0;
   int executors_granted = 0;
   int executors_released = 0;
   int executors_lost = 0;  // fault injection: executors dead at drain time
+  // Node-health circuit breaker (caller-filled, like the executor counters:
+  // not derivable from job records; the sharded merge sums them).
+  int quarantines = 0;
+  int probes = 0;
+  int reinstatements = 0;
 
   double total_time = 0.0;      // first submission → last finish
   double makespan_sum = 0.0;    // Σ per-job makespans (aggregate latency)
@@ -145,10 +188,13 @@ class JobServer {
   explicit JobServer(engine::SparkContext& ctx);
 
   /// Admission-controlled submission. `build` is invoked when the job
-  /// actually starts. Returns the typed admission decision; rejected
-  /// submissions are recorded but never run.
+  /// actually starts (and again on every retry attempt). Returns the typed
+  /// admission decision; rejected submissions are recorded but never run.
+  /// `deadline` is relative to the submission instant (<0: fall back to
+  /// saex.serve.defaultDeadline; still <0: no deadline). With deadlines
+  /// enforced a non-positive relative deadline is rejected as infeasible.
   Admission submit(std::string name, std::string client, std::string pool,
-                   Builder build);
+                   Builder build, double deadline = -1.0);
 
   /// Schedules every trace job's submission at its arrival time (loading the
   /// shared inputs first), then drains the simulation and reports.
@@ -177,6 +223,11 @@ class JobServer {
 
   void start_job(int submission_id);
   void on_job_finished(int submission_id, engine::JobReport report);
+  void on_deadline(int submission_id);
+  void shed_job(JobRecord& rec);
+  void settle(JobRecord& rec, double finish_time);
+  void requeue_retry(int submission_id);
+  void pump_queue();
   bool has_work() const noexcept;
   int client_load(const std::string& client) const noexcept;
   PoolRollups& pool_rollups(const std::string& pool);
@@ -191,14 +242,20 @@ class JobServer {
   metrics::CounterHandle jobs_queued_;
   metrics::CounterHandle jobs_finished_;
   metrics::CounterHandle jobs_failed_;
+  metrics::CounterHandle jobs_shed_;
+  metrics::CounterHandle jobs_cancelled_;
+  metrics::CounterHandle jobs_retried_;
   metrics::GaugeHandle queue_length_;
   std::map<std::string, PoolRollups, std::less<>> pool_rollups_;
   std::unique_ptr<ExecutorAllocationManager> allocation_;
+  std::unique_ptr<resilience::NodeHealthTracker> health_;
+  uint64_t retry_seed_ = 0;  // cluster seed: retry jitter is replayable
 
   std::vector<JobRecord> records_;      // by submission id
   std::map<int, Builder> builders_;     // pending builds by submission id
   std::deque<int> queue_;               // queued submission ids (FIFO)
   std::vector<int> running_;            // running submission ids
+  std::set<int> retry_wait_;            // in retry backoff, not yet requeued
 };
 
 }  // namespace saex::serve

@@ -54,9 +54,11 @@ std::vector<TraceJob> make_trace(const TraceOptions& options) {
     if (mix.chance(options.small_fraction)) {
       job.pool = "interactive";
       job.workload = mix.chance(0.5) ? "scan" : "aggregation";
+      job.deadline = options.interactive_deadline;
     } else {
       job.pool = "batch";
       job.workload = mix.chance(0.5) ? "sort" : "join";
+      job.deadline = options.batch_deadline;
     }
     trace.push_back(std::move(job));
   }

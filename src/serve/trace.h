@@ -23,6 +23,10 @@ struct TraceJob {
   std::string pool;      // "interactive" | "batch"
   std::string workload;  // "scan" | "aggregation" | "sort" | "join"
   double arrival_time = 0.0;
+  // Relative SLO deadline (<0: none / server default). Assigned per pool
+  // from TraceOptions, deterministically — no extra RNG draws, so traces
+  // with deadlines share arrivals/mix with the same-seed trace without.
+  double deadline = -1.0;
 };
 
 struct TraceOptions {
@@ -37,6 +41,10 @@ struct TraceOptions {
   double small_fraction = 0.6;     // share of interactive jobs
   int num_clients = 4;
   uint64_t seed = 42;
+
+  // Per-pool relative deadlines stamped onto trace jobs (<0: none).
+  double interactive_deadline = -1.0;
+  double batch_deadline = -1.0;
 
   // Shared input sizes (loaded once per context).
   Bytes small_input = gib(1.0);  // scan/aggregation table

@@ -9,6 +9,7 @@
 #include "common/format.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "fault/fault.h"
 
 namespace saex::shard {
 
@@ -47,6 +48,33 @@ conf::Config ShardedServer::shard_config(int shard) const {
     config.set_int(key, topology_.shard_of(node) == shard
                             ? topology_.local_node(node)
                             : -1);
+  }
+  // fetchFailNode needs its own treatment: -1 does not disable the injection
+  // (it means "drop fetches from ANY source"), so a shard that does not own
+  // the targeted node must zero the probability instead.
+  if (const int node = static_cast<int>(config.get_int("saex.fault.fetchFailNode"));
+      node >= 0 && node < topology_.total_nodes()) {
+    if (topology_.shard_of(node) == shard) {
+      config.set_int("saex.fault.fetchFailNode", topology_.local_node(node));
+    } else {
+      config.set_int("saex.fault.fetchFailNode", -1);
+      config.set_double("saex.fault.fetchFailProb", 0.0);
+    }
+  }
+  // The chaos timeline also names global node ids: each shard keeps only
+  // the events for its own nodes, rewritten to local ids. Timestamps are
+  // untouched, so the merged schedule replays the global one exactly.
+  if (const std::string chaos = config.get_string("saex.fault.chaos");
+      !chaos.empty()) {
+    std::vector<fault::ChaosEvent> local;
+    for (const fault::ChaosEvent& ev : fault::parse_chaos(chaos)) {
+      if (ev.node < 0 || ev.node >= topology_.total_nodes()) continue;
+      if (topology_.shard_of(ev.node) != shard) continue;
+      fault::ChaosEvent copy = ev;
+      copy.node = topology_.local_node(ev.node);
+      local.push_back(copy);
+    }
+    config.set("saex.fault.chaos", fault::format_chaos(local));
   }
   // Per-job task counts should match the shard's core count, not the whole
   // cluster's; untouched when unset (and exact at one shard).
@@ -99,7 +127,8 @@ ShardedServeReport ShardedServer::replay(
                        copy.client, copy.pool,
                        [copy](engine::SparkContext& ctx) {
                          return serve::build_trace_job(ctx, copy);
-                       });
+                       },
+                       copy.deadline);
       });
     }
   }
@@ -146,6 +175,9 @@ ShardedServeReport ShardedServer::replay(
     out.merged.executors_granted += report.executors_granted;
     out.merged.executors_released += report.executors_released;
     out.merged.executors_lost += report.executors_lost;
+    out.merged.quarantines += report.quarantines;
+    out.merged.probes += report.probes;
+    out.merged.reinstatements += report.reinstatements;
   }
   return out;
 }

@@ -145,6 +145,14 @@ def check_serve_bench():
     check_bench_snapshot("BENCH_serve.json", "serve_shard")
 
 
+def check_fault_bench():
+    check_bench_snapshot("BENCH_fault.json", "fault_recovery")
+
+
+def check_resilience_bench():
+    check_bench_snapshot("BENCH_resilience.json", "serve_resilience")
+
+
 def check_scaling_doc():
     """docs/SCALING.md must exist and be reachable from README.md and
     docs/ARCHITECTURE.md (the scaling story is load-bearing docs, not an
@@ -184,6 +192,8 @@ def main():
     check_engine_bench()
     check_storage_bench()
     check_serve_bench()
+    check_fault_bench()
+    check_resilience_bench()
     check_scaling_doc()
     check_test_count()
     if failures:

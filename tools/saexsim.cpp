@@ -13,15 +13,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/format.h"
 #include "common/log.h"
+#include "fault/fault.h"
 #include "prof/profiler.h"
 #include "storage/eviction.h"
 #include "harness/harness.h"
@@ -65,6 +68,8 @@ struct Args {
   double slow_factor = 0.3;
   double slow_time = 0.0;
   double fetch_fail_prob = 0.0;
+  int fetch_fail_node = -1;
+  std::string chaos;  // --chaos: file path or inline kill/rejoin spec
   std::string eventlog_path;
   std::string trace_path;
   bool list = false;
@@ -86,6 +91,13 @@ struct Args {
   int max_per_client = 0;
   bool dynalloc = false;
   bool jobs_table = false;
+
+  // serve resilience (saex.serve.* / saex.resilience.*).
+  double deadline = -1.0;    // default relative SLO deadline, seconds
+  bool deadline_set = false;
+  int max_retries = -1;      // -1 = config default (0)
+  bool max_retries_set = false;
+  bool quarantine = false;
 
   // serve sharding (saex.shard.*): any of these flags selects the sharded
   // path even at --shards 1 (useful to demo the 1-shard identity).
@@ -124,6 +136,10 @@ void usage() {
       "  --slow-factor F     fault: degraded disk speed factor (default 0.3)\n"
       "  --slow-time T       fault: when the degradation hits (default 0)\n"
       "  --fetch-fail P      fault: transient shuffle-fetch drop probability\n"
+      "  --fetch-fail-node N fault: only fetches FROM node N can drop\n"
+      "  --chaos SPEC        fault: scripted churn timeline — a file path or\n"
+      "                      an inline 'kill:<node>@<sec>,rejoin:<node>@<sec>'\n"
+      "                      list ('#' comments; ',' or whitespace separated)\n"
       "  --eventlog FILE     write the event log as JSON lines\n"
       "  --trace FILE        write a chrome://tracing file\n"
       "  --jobs N            run the sweep's 5 simulations on N worker\n"
@@ -158,6 +174,12 @@ void usage() {
       "  --max-queued N      admission: queue capacity (default 64)\n"
       "  --max-per-client N  admission: per-client quota, 0=off (default 0)\n"
       "  --dynalloc          enable dynamic executor allocation\n"
+      "  --deadline T        default per-job SLO deadline in seconds (> 0);\n"
+      "                      queued jobs past it are shed, running jobs\n"
+      "                      cancelled\n"
+      "  --max-retries N     re-run failed jobs up to N times with seeded\n"
+      "                      exponential backoff (default 0)\n"
+      "  --quarantine        enable the node-health circuit breaker\n"
       "  --jobs-table        also print the per-submission table\n"
       "  (--policy, --nodes, --ssd, --seed, --parallelism, --eventlog,\n"
       "   --trace apply here too)\n",
@@ -218,6 +240,10 @@ std::optional<Args> parse(int argc, char** argv) {
       args.slow_time = std::atof(value());
     } else if (a == "--fetch-fail") {
       args.fetch_fail_prob = std::atof(value());
+    } else if (a == "--fetch-fail-node") {
+      args.fetch_fail_node = std::atoi(value());
+    } else if (a == "--chaos") {
+      args.chaos = value();
     } else if (a == "--eventlog") {
       args.eventlog_path = value();
     } else if (a == "--trace") {
@@ -258,6 +284,14 @@ std::optional<Args> parse(int argc, char** argv) {
       args.max_per_client = std::atoi(value());
     } else if (a == "--dynalloc") {
       args.dynalloc = true;
+    } else if (a == "--deadline") {
+      args.deadline = std::atof(value());
+      args.deadline_set = true;
+    } else if (a == "--max-retries") {
+      args.max_retries = std::atoi(value());
+      args.max_retries_set = true;
+    } else if (a == "--quarantine") {
+      args.quarantine = true;
     } else if (a == "--jobs-table") {
       args.jobs_table = true;
     } else if (a == "--profile") {
@@ -312,7 +346,7 @@ std::optional<workloads::WorkloadSpec> find_workload(const std::string& name,
 
 void apply_fault_flags(conf::Config& config, const Args& args) {
   if (args.kill_node < 0 && args.slow_node < 0 &&
-      args.fetch_fail_prob <= 0.0) {
+      args.fetch_fail_prob <= 0.0 && args.chaos.empty()) {
     return;
   }
   config.set_bool("saex.fault.enabled", true);
@@ -323,6 +357,26 @@ void apply_fault_flags(conf::Config& config, const Args& args) {
   config.set_double("saex.fault.slowFactor", args.slow_factor);
   config.set("saex.fault.slowTime", strfmt::format("{}", args.slow_time));
   config.set_double("saex.fault.fetchFailProb", args.fetch_fail_prob);
+  config.set_int("saex.fault.fetchFailNode", args.fetch_fail_node);
+  config.set("saex.fault.chaos", args.chaos);
+}
+
+// Resolves --chaos: a readable file's contents, otherwise the argument
+// itself as an inline spec. Either way the result must parse; a typed
+// ConfigError is reported in the usual saexsim style (rc 2 at the caller).
+bool resolve_chaos_flag(std::string& chaos) {
+  if (std::ifstream file(chaos); file.good()) {
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    chaos = contents.str();
+  }
+  try {
+    (void)fault::parse_chaos(chaos);
+  } catch (const conf::ConfigError& e) {
+    std::fprintf(stderr, "invalid --chaos spec: %s\n", e.what());
+    return false;
+  }
+  return true;
 }
 
 conf::Config make_config(const Args& args, const std::string& policy) {
@@ -492,11 +546,23 @@ int run_serve(const Args& args) {
   config.set_int("saex.static.ioThreads", args.io_threads);
   config.set_int("spark.default.parallelism",
                  args.parallelism > 0 ? args.parallelism : args.nodes * 32);
+  config.set_double("saex.sim.taskFailureProb", args.failure_prob);
+  config.set_bool("spark.speculation", args.speculation);
   config.set("saex.scheduler.mode", args.mode);
   config.set("saex.scheduler.pools", args.pools);
   config.set_int("saex.serve.maxConcurrentJobs", args.max_concurrent);
   config.set_int("saex.serve.maxQueuedJobs", args.max_queued);
   config.set_int("saex.serve.maxJobsPerClient", args.max_per_client);
+  if (args.deadline > 0.0) {
+    config.set("saex.serve.defaultDeadline",
+               strfmt::format("{}", args.deadline));
+  }
+  if (args.max_retries >= 0) {
+    config.set_int("saex.serve.maxRetries", args.max_retries);
+  }
+  if (args.quarantine) {
+    config.set_bool("saex.resilience.quarantine", true);
+  }
   apply_fault_flags(config, args);
   if (args.dynalloc) {
     config.set_bool("spark.dynamicAllocation.enabled", true);
@@ -554,7 +620,18 @@ int main(int argc, char** argv) {
   prof::Profiler::init_from_env();
   const auto parsed = parse(argc, argv);
   if (!parsed) return 2;
-  const Args& args = *parsed;
+  Args args = *parsed;
+  if (!args.chaos.empty() && !resolve_chaos_flag(args.chaos)) return 2;
+  if (args.deadline_set && args.deadline <= 0.0) {
+    std::fprintf(stderr, "--deadline must be > 0 (seconds, got %g)\n",
+                 args.deadline);
+    return 2;
+  }
+  if (args.max_retries_set && args.max_retries < 0) {
+    std::fprintf(stderr, "--max-retries must be >= 0 (got %d)\n",
+                 args.max_retries);
+    return 2;
+  }
   if (args.profile) prof::Profiler::set_enabled(true);
   if (args.help) {
     usage();
