@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/format.h"
@@ -134,12 +135,43 @@ class BenchJson {
     rows_.push_back(Row{std::move(name), wall_seconds, events,
                         wall_seconds > 0.0
                             ? static_cast<double>(events) / wall_seconds
-                            : 0.0});
+                            : 0.0,
+                        {}});
+  }
+
+  /// Attaches an extra named metric to an already-recorded row (e.g. a
+  /// simulated makespan, which unlike wall seconds is deterministic).
+  /// No-op when the row does not exist.
+  void set_metric(const std::string& row_name, std::string key, double value) {
+    for (Row& r : rows_) {
+      if (r.name == row_name) {
+        r.extra.emplace_back(std::move(key), value);
+        return;
+      }
+    }
+  }
+
+  /// Declares that metric(numerator_row) / metric(denominator_row) must be
+  /// >= min. Evaluated by tools/check_bench.py against the rows of the SAME
+  /// file the guard is written into.
+  void guard_min_ratio(std::string metric, std::string numerator_row,
+                       std::string denominator_row, double min) {
+    guards_.push_back(Guard{"min_ratio", std::move(metric),
+                            std::move(numerator_row),
+                            std::move(denominator_row), min});
+  }
+
+  /// Declares that metric(row) must be >= min.
+  void guard_min_value(std::string metric, std::string row, double min) {
+    guards_.push_back(Guard{"min_value", std::move(metric), std::move(row),
+                            "", min});
   }
 
   bool empty() const noexcept { return rows_.empty(); }
 
-  /// Writes {"bench": <bench>, "benchmarks": [...]} to `path`.
+  /// Writes {"bench": <bench>, "benchmarks": [...], "guards": [...]} to
+  /// `path`. The guards array is omitted when no guard was declared, so the
+  /// schema stays append-only for existing consumers.
   bool write(const std::string& bench, const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
@@ -149,12 +181,38 @@ class BenchJson {
       const Row& r = rows_[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
-                   "\"events\": %llu, \"events_per_sec\": %.1f}%s\n",
+                   "\"events\": %llu, \"events_per_sec\": %.1f",
                    r.name.c_str(), r.wall_seconds,
                    static_cast<unsigned long long>(r.events),
-                   r.events_per_sec, i + 1 < rows_.size() ? "," : "");
+                   r.events_per_sec);
+      for (const auto& [key, value] : r.extra) {
+        std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]");
+    if (!guards_.empty()) {
+      std::fprintf(f, ",\n  \"guards\": [\n");
+      for (size_t i = 0; i < guards_.size(); ++i) {
+        const Guard& g = guards_[i];
+        if (g.type == "min_ratio") {
+          std::fprintf(f,
+                       "    {\"type\": \"min_ratio\", \"metric\": \"%s\", "
+                       "\"numerator\": \"%s\", \"denominator\": \"%s\", "
+                       "\"min\": %.6f}%s\n",
+                       g.metric.c_str(), g.row_a.c_str(), g.row_b.c_str(),
+                       g.min, i + 1 < guards_.size() ? "," : "");
+        } else {
+          std::fprintf(f,
+                       "    {\"type\": \"min_value\", \"metric\": \"%s\", "
+                       "\"row\": \"%s\", \"min\": %.6f}%s\n",
+                       g.metric.c_str(), g.row_a.c_str(), g.min,
+                       i + 1 < guards_.size() ? "," : "");
+        }
+      }
+      std::fprintf(f, "  ]");
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     return true;
   }
@@ -165,8 +223,17 @@ class BenchJson {
     double wall_seconds;
     uint64_t events;
     double events_per_sec;
+    std::vector<std::pair<std::string, double>> extra;
+  };
+  struct Guard {
+    std::string type;    // min_ratio | min_value
+    std::string metric;  // row field the guard reads
+    std::string row_a;   // numerator (min_ratio) or the row (min_value)
+    std::string row_b;   // denominator (min_ratio only)
+    double min;
   };
   std::vector<Row> rows_;
+  std::vector<Guard> guards_;
 };
 
 /// Returns the value following `--json`, or "" when the flag is absent.

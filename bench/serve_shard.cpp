@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
               "sharded serve path on the heavy-tailed serve_trace_xl trace "
               "(router + per-shard kernels + time-window runner)",
               "4-shard merged report bitwise-identical across worker counts; "
-              "full mode: serve_xl_shard4 >= 3x serve_xl_serial events/s");
+              "full mode: serve_xl_shard4 >= 3x serve_xl_serial WALL speedup");
 
   BenchJson out;
   const XlRun serial = run_xl(smoke, /*shards=*/1, /*workers=*/1);
@@ -141,16 +141,32 @@ int main(int argc, char** argv) {
                 "workers (%zu bytes)\n", shard4.merged.size());
   }
 
+  // The two scenarios do NOT process the same event total: each shard kernel
+  // advances only its quarter of the cluster, so shard4's per-event work is
+  // cheaper AND its event count is smaller than serial's. events/s therefore
+  // understates the shard win; the honest scaling number is the wall-clock
+  // ratio on the identical trace. Both are recorded; the >=3x CI bar guards
+  // wall_speedup_vs_serial (see tools/check_bench.py guards).
   const double serial_eps =
       serial.wall > 0 ? static_cast<double>(serial.events) / serial.wall : 0;
   const double shard4_eps =
       shard4.wall > 0 ? static_cast<double>(shard4.events) / shard4.wall : 0;
-  const double speedup = serial_eps > 0 ? shard4_eps / serial_eps : 0;
-  std::printf("scaling: serve_xl_shard4 at %.2fx serve_xl_serial events/s\n",
-              speedup);
-  if (!smoke && speedup < 3.0) {
-    std::printf("FAIL: full-mode scaling bar is 3.0x\n");
-    rc = 1;
+  const double eps_ratio = serial_eps > 0 ? shard4_eps / serial_eps : 0;
+  const double wall_speedup = shard4.wall > 0 ? serial.wall / shard4.wall : 0;
+  out.set_metric("serve_xl_shard4", "wall_speedup_vs_serial", wall_speedup);
+  std::printf("scaling: serve_xl_shard4 wall speedup %.2fx over "
+              "serve_xl_serial (same trace; this is the guarded metric)\n",
+              wall_speedup);
+  std::printf("         events/s ratio %.2fx — NOT comparable (serial "
+              "processed %llu events, shard4 %llu)\n",
+              eps_ratio, static_cast<unsigned long long>(serial.events),
+              static_cast<unsigned long long>(shard4.events));
+  if (!smoke) {
+    out.guard_min_value("wall_speedup_vs_serial", "serve_xl_shard4", 3.0);
+    if (wall_speedup < 3.0) {
+      std::printf("FAIL: full-mode scaling bar is 3.0x wall speedup\n");
+      rc = 1;
+    }
   }
 
   if (!json_path.empty()) {

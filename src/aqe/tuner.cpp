@@ -1,0 +1,99 @@
+#include "aqe/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace saex::aqe {
+namespace {
+
+constexpr int kMaxPoolHint = 64;
+
+}  // namespace
+
+void StageTuner::observe_stage(const StageObservation& obs) {
+  ++stages_observed_;
+
+  if (!obs.durations.empty() && obs.durations.size() == obs.bytes.size()) {
+    // Rank-pair: completion order is scheduler-dependent detail, but the
+    // k-th smallest task almost surely processed the k-th smallest input.
+    std::vector<double> d(obs.durations);
+    std::vector<Bytes> b(obs.bytes);
+    std::sort(d.begin(), d.end());
+    std::sort(b.begin(), b.end());
+    for (size_t i = 0; i < d.size(); ++i) {
+      const double x = static_cast<double>(b[i]);
+      sum_x_ += x;
+      sum_y_ += d[i];
+      sum_xx_ += x * x;
+      sum_xy_ += x * d[i];
+      n_ += 1.0;
+      if (n_ == 1.0) {
+        min_x_ = max_x_ = b[i];
+      } else {
+        min_x_ = std::min(min_x_, b[i]);
+        max_x_ = std::max(max_x_, b[i]);
+      }
+    }
+  }
+
+  if (obs.pool_size > 0 && obs.makespan > 0.0) {
+    const double throughput =
+        static_cast<double>(obs.total_bytes) / obs.makespan;
+    auto [it, inserted] = pool_throughput_.emplace(obs.pool_size, throughput);
+    if (!inserted) it->second = std::max(it->second, throughput);
+  }
+}
+
+bool StageTuner::ready() const noexcept {
+  return n_ >= 2.0 && max_x_ > min_x_;
+}
+
+double StageTuner::per_byte() const noexcept {
+  if (!ready()) return 0.0;
+  const double denom = n_ * sum_xx_ - sum_x_ * sum_x_;
+  if (denom <= 0.0) return 0.0;
+  return std::max(0.0, (n_ * sum_xy_ - sum_x_ * sum_y_) / denom);
+}
+
+double StageTuner::fixed_cost() const noexcept {
+  if (n_ < 1.0) return 0.0;
+  return std::max(0.0, (sum_y_ - per_byte() * sum_x_) / n_);
+}
+
+Bytes StageTuner::choose_target(Bytes total_bytes, int slots,
+                                Bytes fallback) const {
+  if (!ready() || total_bytes <= 0 || slots <= 0) return fallback;
+  const double a = fixed_cost();
+  const double b = per_byte();
+  if (a <= 0.0 && b <= 0.0) return fallback;
+
+  Bytes best = fallback;
+  double best_makespan = -1.0;
+  for (Bytes t = kMiB; t <= kGiB; t *= 2) {
+    const Bytes tasks = std::max<Bytes>(1, (total_bytes + t - 1) / t);
+    const Bytes waves = (tasks + slots - 1) / slots;
+    const double makespan =
+        static_cast<double>(waves) * (a + b * static_cast<double>(t));
+    if (best_makespan < 0.0 || makespan < best_makespan) {
+      best_makespan = makespan;
+      best = t;
+    }
+  }
+  return best;
+}
+
+int StageTuner::choose_pool_hint(int current) const {
+  if (pool_throughput_.empty()) return current;
+  auto best = pool_throughput_.begin();
+  for (auto it = pool_throughput_.begin(); it != pool_throughput_.end(); ++it) {
+    if (it->second > best->second) best = it;
+  }
+  const int p = best->first;
+  // One-step deterministic exploration around the incumbent: prefer the
+  // untried upward neighbor, then downward, else exploit.
+  if (p < kMaxPoolHint && pool_throughput_.count(p + 1) == 0) return p + 1;
+  if (p > 1 && pool_throughput_.count(p - 1) == 0) return p - 1;
+  return p;
+}
+
+}  // namespace saex::aqe

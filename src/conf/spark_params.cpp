@@ -454,6 +454,29 @@ void define_adaptive_extension(Registry& r) {
             "Conservative synchronization lookahead override; 0 derives it "
             "from the minimum cross-shard network latency (with no "
             "cross-shard channels, shards run to completion independently)."});
+  r.define({"saex.aqe.enabled", c, V::kBool, "false",
+            "Adaptive query execution (src/aqe/): re-plan shuffle consumer "
+            "stages at submission from actual map-output statistics "
+            "(partition coalescing + skew splitting). Off keeps every "
+            "schedule bitwise identical to the pre-AQE engine."});
+  r.define({"saex.aqe.targetPartitionBytes", c, V::kBytes, "64m",
+            "Coalesce target: adjacent reduce partitions merge until each "
+            "physical task fetches at least this many bytes; also the split "
+            "granularity for skewed partitions."});
+  r.define({"saex.aqe.skewFactor", c, V::kDouble, "4.0",
+            "A reduce partition larger than skewFactor x the median "
+            "partition size (and larger than targetPartitionBytes) is split "
+            "into range sub-tasks."});
+  r.define({"saex.aqe.maxSplits", c, V::kInt, "16",
+            "Upper bound on sub-tasks a skewed partition splits into."});
+  r.define({"saex.aqe.minPartitions", c, V::kInt, "0",
+            "Coalescing never reduces a stage below this many tasks "
+            "(0 = spark.default.parallelism)."});
+  r.define({"saex.aqe.tuner", c, V::kBool, "false",
+            "Per-stage multi-knob tuner: fit service_time = a + b*bytes from "
+            "observed tasks, pick the coalesce target minimizing modeled "
+            "makespan, and seed executor pool sizes from the best observed "
+            "width (composes with saex.executor.policy=dynamic)."});
   r.define({"saex.eventLog.enabled", c, V::kBool, "true",
             "Application event log (the spark.eventLog analogue exported by "
             "saexsim --eventlog/--trace). Disable for very long serve "

@@ -99,6 +99,10 @@ SparkContext::SparkContext(hw::Cluster& cluster, conf::Config config)
   env.storage = storage_.get();
   shuffle_locality_ = config_.get_bool("saex.storage.shuffleLocality");
   m_recomputes_ = metrics_.counter_handle("storage/recomputes");
+
+  aqe_ = aqe::AqeOptions::from_config(config_);
+  if (aqe_.enabled && aqe_.tuner) tuner_ = std::make_unique<aqe::StageTuner>();
+  m_replans_ = metrics_.counter_handle("aqe/replans");
   env.task_failure_prob = config_.get_double("saex.sim.taskFailureProb");
   env.flaky_node = static_cast<int>(config_.get_int("saex.sim.flakyNode"));
   env.flaky_node_failure_prob =
@@ -219,8 +223,17 @@ std::vector<TaskSpec> SparkContext::make_tasks(const Stage& stage) const {
         Bytes total = 0;
         std::vector<Bytes> per_node(static_cast<size_t>(cluster_->size()), 0);
         for (const int sid : stage.in_shuffle_ids) {
+          // Empty reduce_slices = identity tiling → legacy fetch path
+          // (bitwise identical plans with AQE off).
           const std::vector<Bytes> plan =
-              shuffles_->fetch_plan(sid, p, stage.num_tasks);
+              stage.reduce_slices.empty()
+                  ? shuffles_->fetch_plan(sid, p, stage.num_tasks)
+                  : shuffles_->fetch_plan_slice(
+                        sid, stage.reduce_slices[static_cast<size_t>(p)].first,
+                        stage.reduce_slices[static_cast<size_t>(p)].last,
+                        stage.reduce_slices[static_cast<size_t>(p)].split_index,
+                        stage.reduce_slices[static_cast<size_t>(p)].num_splits,
+                        stage.reduce_partitions);
           for (size_t n = 0; n < plan.size(); ++n) {
             total += plan[n];
             per_node[n] += plan[n];
@@ -259,6 +272,84 @@ std::vector<TaskSpec> SparkContext::make_tasks(const Stage& stage) const {
     tasks.push_back(std::move(t));
   }
   return tasks;
+}
+
+void SparkContext::maybe_replan_stage(Stage& stage) {
+  if (!aqe_.enabled || stage.source != StageSource::kShuffle) return;
+  if (!stage.reduce_slices.empty()) return;  // already re-planned
+  const int R =
+      stage.reduce_partitions > 0 ? stage.reduce_partitions : stage.num_tasks;
+  if (R <= 1) return;
+
+  // Actual per-partition bytes, summed over the stage's input shuffles
+  // (two for joins). Every producer has finished by now — run_job runs
+  // stages sequentially, and submit_ready_stages gates on parent completion
+  // — so these are committed map-output statistics, not estimates.
+  std::vector<Bytes> bytes(static_cast<size_t>(R), 0);
+  Bytes total = 0;
+  for (const int sid : stage.in_shuffle_ids) {
+    const std::vector<Bytes> part = shuffles_->reduce_partition_bytes(sid, R);
+    for (int r = 0; r < R; ++r) {
+      bytes[static_cast<size_t>(r)] += part[static_cast<size_t>(r)];
+      total += part[static_cast<size_t>(r)];
+    }
+  }
+  if (total == 0) return;
+
+  // The tuner (when enabled) overrides the static coalesce target with the
+  // argmin of its fitted per-task cost model; it keeps the static target
+  // until the model has seen enough spread to be determined.
+  aqe::AqeOptions opt = aqe_;
+  if (opt.min_partitions == 0) {
+    opt.min_partitions = std::max(
+        1, static_cast<int>(config_.get_int("spark.default.parallelism")));
+  }
+  if (tuner_ != nullptr) {
+    const int slots =
+        static_cast<int>(executors_.size()) *
+        static_cast<int>(config_.get_int("spark.executor.cores"));
+    opt.target_partition_bytes =
+        tuner_->choose_target(total, slots, opt.target_partition_bytes);
+  }
+
+  const aqe::AqePlan plan = aqe::plan_reduce_stage(bytes, opt);
+  if (plan.identity) return;
+
+  stage.reduce_partitions = R;
+  stage.reduce_slices = plan.slices;
+  stage.num_tasks = static_cast<int>(plan.slices.size());
+  if (m_replans_) m_replans_.add(1.0);
+  event_log_.record(Event{EventKind::kStageReplanned, cluster_->sim().now(),
+                          -1, stage.ordinal, -1, -1, stage.num_tasks,
+                          stage.name});
+  SAEX_INFO(
+      "AQE re-planned stage {} '{}': {} partitions -> {} tasks "
+      "({} coalesced away, {} skew-split)",
+      stage.ordinal, stage.name, R, stage.num_tasks, plan.merged_partitions,
+      plan.split_partitions);
+}
+
+void SparkContext::tuner_observe_stage(const Stage& stage,
+                                       const std::vector<double>& durations,
+                                       const std::vector<Bytes>& task_bytes,
+                                       double makespan) {
+  if (tuner_ == nullptr || stage.source != StageSource::kShuffle) return;
+  aqe::StageObservation obs;
+  obs.durations = durations;
+  obs.bytes = task_bytes;
+  obs.pool_size = executors_.empty() ? 0 : executors_.front()->pool_size();
+  obs.makespan = makespan;
+  obs.total_bytes = stage.input_bytes;
+  tuner_->observe_stage(obs);
+}
+
+void SparkContext::apply_tuner_pool_hint(const Stage& stage) {
+  if (tuner_ == nullptr || stage.source != StageSource::kShuffle) return;
+  if (tuner_->stages_observed() == 0) return;
+  const int hint = tuner_->choose_pool_hint(executors_.front()->pool_size());
+  if (hint <= 0) return;
+  // Seed every executor's pool; the per-interval policy climbs from here.
+  for (auto& exec : executors_) exec->set_pool_size(hint);
 }
 
 // ---------------------------------------------------------------------------
@@ -317,6 +408,10 @@ void SparkContext::revive_executor(int node_id) {
 
 void SparkContext::record_shuffle_producer(const Stage& stage) {
   if (stage.sink == StageSink::kShuffleWrite && stage.out_shuffle_id >= 0) {
+    // Reduce-partition weights (ShuffleTraits::skew) must be registered
+    // before any consumer plans its fetches; the producer is always
+    // submitted — and hence recorded — first.
+    shuffles_->set_reduce_skew(stage.out_shuffle_id, stage.out_skew);
     shuffle_producers_.insert_or_assign(stage.out_shuffle_id, stage);
   }
   // Cache lineage: remember who materializes each cache so partitions
@@ -643,6 +738,9 @@ void SparkContext::submit_ready_stages(JobRun& run) {
 }
 
 void SparkContext::submit_stage_of(JobRun& run, Stage& stage) {
+  // Re-plan before anything observes the stage shape (the kStageStart event
+  // below logs num_tasks; make_tasks sizes the task set).
+  maybe_replan_stage(stage);
   sim::Simulation& sim = cluster_->sim();
   const double now = sim.now();
   const int app_ordinal = app_stage_counter_++;
@@ -871,6 +969,10 @@ JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {
             stage.ordinal));
       }
     }
+    // Re-plan before anything observes the stage shape: the consumed
+    // shuffle's map outputs are fully committed at this point (stages run
+    // sequentially here), which is exactly the AQE interception window.
+    maybe_replan_stage(stage);
     const double stage_start = sim.now();
 
     // Stage start: every executor's policy (re)sizes its pool. The ordinal
@@ -882,6 +984,9 @@ JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {
     for (auto& exec : executors_) {
       exec->policy().on_stage_start(sctx, stage_start);
     }
+    // AQE tuner's pool-size seed overrides the policy's opening width; the
+    // policy's MAPE-K loop keeps adapting from the seed within the stage.
+    apply_tuner_pool_hint(stage);
 
     std::vector<Baseline> base;
     Bytes net_base = cluster_->network().total_bytes();
@@ -898,7 +1003,13 @@ JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {
                             stage.name});
     record_shuffle_producer(stage);
     bool done = false;
-    scheduler_->run_stage(stage, make_tasks(stage), [&done] { done = true; });
+    std::vector<TaskSpec> tasks = make_tasks(stage);
+    std::vector<Bytes> task_bytes;
+    if (tuner_ != nullptr) {
+      task_bytes.reserve(tasks.size());
+      for (const TaskSpec& t : tasks) task_bytes.push_back(t.input_bytes);
+    }
+    scheduler_->run_stage(stage, std::move(tasks), [&done] { done = true; });
     uint64_t steps = 0;
     while (!done) {
       if (!sim.step()) {
@@ -913,6 +1024,8 @@ JobReport SparkContext::run_job(const Rdd& action, std::string app_name) {
     }
     const double stage_end = sim.now();
     for (auto& exec : executors_) exec->policy().on_stage_end(stage_end);
+    tuner_observe_stage(stage, scheduler_->completed_durations(), task_bytes,
+                        stage_end - stage_start);
     event_log_.record(Event{EventKind::kStageEnd, stage_end, job_id,
                             sctx.stage_ordinal, -1, -1, 0, stage.name});
 

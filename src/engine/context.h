@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "adaptive/policies.h"
+#include "aqe/aqe.h"
+#include "aqe/tuner.h"
 #include "conf/config.h"
 #include "dfs/dfs.h"
 #include "engine/dag_scheduler.h"
@@ -165,6 +167,18 @@ class SparkContext {
 
   void install_policies();
   std::vector<TaskSpec> make_tasks(const Stage& stage) const;
+  // AQE (saex.aqe.*): re-tiles a shuffle consumer stage from the observed
+  // per-partition map-output bytes — partition coalescing + skew splitting —
+  // just before the stage is submitted. No-op with AQE off, for non-shuffle
+  // stages, and when the plan comes back as the identity tiling, so disabled
+  // runs stay bitwise identical to the pre-AQE engine.
+  void maybe_replan_stage(Stage& stage);
+  // Feeds the per-stage tuner with the finished stage's task durations/bytes
+  // and applies its pool-size hint before the next stage (run_job path only).
+  void tuner_observe_stage(const Stage& stage, const std::vector<double>& durations,
+                           const std::vector<Bytes>& task_bytes,
+                           double makespan);
+  void apply_tuner_pool_hint(const Stage& stage);
   void submit_ready_stages(JobRun& run);
   void submit_stage_of(JobRun& run, Stage& stage);
   void on_stage_finished(JobRun& run, Stage& stage,
@@ -221,6 +235,11 @@ class SparkContext {
   std::map<int, std::vector<uint64_t>> cache_held_sets_;
   bool shuffle_locality_ = false;  // saex.storage.shuffleLocality
   metrics::CounterHandle m_recomputes_;
+
+  // Adaptive query execution (src/aqe/).
+  aqe::AqeOptions aqe_;
+  std::unique_ptr<aqe::StageTuner> tuner_;  // non-null iff saex.aqe.tuner
+  metrics::CounterHandle m_replans_;
 };
 
 /// Builds the PolicyFactory implied by `config` ("saex.executor.policy" =

@@ -76,7 +76,7 @@ static Chain collect_chain(const RddNodeRef& top,
 }
 
 int DagScheduler::materialize_shuffle(const RddNodeRef& node,
-                                      std::vector<Stage>& out) {
+                                      std::vector<Stage>& out, double skew) {
   const auto it = shuffle_by_node_.find(node->id);
   if (it != shuffle_by_node_.end()) return it->second;
 
@@ -93,6 +93,7 @@ int DagScheduler::materialize_shuffle(const RddNodeRef& node,
   });
   producer.sink = StageSink::kShuffleWrite;
   producer.out_shuffle_id = shuffle_id;
+  producer.out_skew = skew;
   shuffle_producer_.emplace(shuffle_id, producer_uid);
   shuffle_bytes_.emplace(shuffle_id, producer.output_bytes());
   return shuffle_id;
@@ -143,14 +144,16 @@ int DagScheduler::build_stage_for(const RddNodeRef& node,
       int partitions = bottom->num_partitions;
       if (bottom->kind == OpKind::kJoin) {
         for (const RddNodeRef& parent : bottom->parents) {
-          const int sid = materialize_shuffle(parent, out);
+          const int sid =
+              materialize_shuffle(parent, out, bottom->shuffle_traits.skew);
           stage.in_shuffle_ids.push_back(sid);
         }
         stage.spill_fraction = bottom->shuffle_traits.spill_fraction;
         stage.scatter = bottom->shuffle_traits.scatter;
       } else {
         assert(chain.boundary && chain.boundary->kind == OpKind::kShuffle);
-        stage.in_shuffle_ids.push_back(materialize_shuffle(chain.boundary, out));
+        stage.in_shuffle_ids.push_back(materialize_shuffle(
+            chain.boundary, out, chain.boundary->shuffle_traits.skew));
         partitions = chain.boundary->num_partitions;
         stage.spill_fraction = chain.boundary->shuffle_traits.spill_fraction;
         stage.scatter = chain.boundary->shuffle_traits.scatter;
@@ -164,6 +167,7 @@ int DagScheduler::build_stage_for(const RddNodeRef& node,
       }
       stage.input_bytes = total;
       stage.num_tasks = partitions > 0 ? partitions : default_parallelism_;
+      stage.reduce_partitions = stage.num_tasks;
       break;
     }
     case StageSource::kCached: {

@@ -51,7 +51,11 @@ class DagScheduler {
   // Returns the uid of the stage that materializes `node`'s output, creating
   // it (and its ancestors) if necessary. `out` collects stages in topo order.
   int build_stage_for(const RddNodeRef& node, std::vector<Stage>& out);
-  int materialize_shuffle(const RddNodeRef& node, std::vector<Stage>& out);
+  // `skew`: reduce-partition weight exponent of the shuffle being produced
+  // (from the consuming wide op's ShuffleTraits; joins pass their traits to
+  // both implicit input shuffles).
+  int materialize_shuffle(const RddNodeRef& node, std::vector<Stage>& out,
+                          double skew);
 
   const dfs::Dfs* dfs_;
   int default_parallelism_;

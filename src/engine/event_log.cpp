@@ -26,6 +26,7 @@ std::string_view event_kind_name(EventKind kind) noexcept {
     case EventKind::kExecutorLost: return "ExecutorLost";
     case EventKind::kFetchFailed: return "FetchFailed";
     case EventKind::kStageResubmitted: return "StageResubmitted";
+    case EventKind::kStageReplanned: return "StageReplanned";
     case EventKind::kDiskDegraded: return "DiskDegraded";
     case EventKind::kExecutorRevived: return "ExecutorRevived";
     case EventKind::kNodeQuarantined: return "NodeQuarantined";
@@ -154,6 +155,7 @@ std::string EventLog::to_chrome_trace() const {
       case EventKind::kExecutorReleased:
       case EventKind::kExecutorLost:
       case EventKind::kStageResubmitted:
+      case EventKind::kStageReplanned:
       case EventKind::kDiskDegraded:
       case EventKind::kExecutorRevived:
       case EventKind::kNodeQuarantined:

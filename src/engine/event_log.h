@@ -36,6 +36,8 @@ enum class EventKind {
   kExecutorLost,       // executor killed; node = victim
   kFetchFailed,        // shuffle fetch failed; node = source, value = shuffle
   kStageResubmitted,   // lineage recovery; value = recomputed partitions
+  // saex::aqe (adaptive query execution) events.
+  kStageReplanned,     // AQE re-tiled a reduce stage; value = new task count
   kDiskDegraded,       // slow-node injection; value = factor in percent
   // saex::resilience (deadlines, retries, node health) events.
   kExecutorRevived,    // chaos rejoin; node = fresh executor's node id

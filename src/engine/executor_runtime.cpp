@@ -701,8 +701,19 @@ void ExecutorRuntime::launch(const TaskSpec& spec, const Stage& stage,
     }
     case StageSource::kShuffle: {
       for (const int sid : stage.in_shuffle_ids) {
+        // Empty reduce_slices = identity tiling → legacy fetch path
+        // (bitwise identical plans with AQE off).
+        const size_t sp = static_cast<size_t>(spec.partition);
         const std::vector<Bytes> plan =
-            env_.shuffles->fetch_plan(sid, spec.partition, stage.num_tasks);
+            stage.reduce_slices.empty()
+                ? env_.shuffles->fetch_plan(sid, spec.partition,
+                                            stage.num_tasks)
+                : env_.shuffles->fetch_plan_slice(
+                      sid, stage.reduce_slices[sp].first,
+                      stage.reduce_slices[sp].last,
+                      stage.reduce_slices[sp].split_index,
+                      stage.reduce_slices[sp].num_splits,
+                      stage.reduce_partitions);
         // Local share first, then remote nodes in rotating order so fetch
         // load spreads evenly.
         const int n = env_.cluster->size();

@@ -43,6 +43,10 @@ struct ShuffleTraits {
   // Device work per byte for the shuffle's on-disk data relative to a large
   // sequential run; >1 models scattered small-record access.
   double scatter = 1.0;
+  // Reduce-partition weight skew: partition r receives a 1/(r+1)^skew weight
+  // share of every map output (0 = uniform). Models hot keys hashing into a
+  // few partitions — the shape AQE's skew splitting exists for.
+  double skew = 0.0;
 };
 
 struct RddNode;

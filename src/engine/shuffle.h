@@ -11,6 +11,14 @@
 // bytes are discarded, never double-counted. Losing a node loses every
 // partition committed there (on_node_lost), which is what drives
 // lineage-based resubmission of the producing stage.
+//
+// Reduce-partition weights: by default every reduce partition gets an equal
+// share of each node's output (remainder bytes to low partitions). A shuffle
+// may instead carry a Zipf skew exponent (ShuffleTraits::skew, registered by
+// the driver via set_reduce_skew), under which partition r's weight is
+// 1/(r+1)^alpha. Both cases share one cumulative-share formulation, so range
+// (coalesced) and sub-range (skew-split) fetch plans are exact: bytes never
+// appear or vanish when the AQE layer re-tiles a reduce stage.
 #pragma once
 
 #include <map>
@@ -31,10 +39,37 @@ class ShuffleManager {
   bool register_map_output(int shuffle_id, int node, int partition,
                            Bytes bytes);
 
+  /// Declares the shuffle's reduce-partition weight profile: partition r
+  /// weighs 1/(r+1)^alpha (alpha <= 0 keeps the uniform default). Idempotent;
+  /// must be set before the first fetch_plan/stats call for the shuffle.
+  void set_reduce_skew(int shuffle_id, double alpha);
+  double reduce_skew(int shuffle_id) const noexcept;
+
   /// Bytes reduce partition `partition` (of `num_partitions`) must fetch
   /// from each node. Deterministic: remainder bytes go to low partitions.
   std::vector<Bytes> fetch_plan(int shuffle_id, int partition,
                                 int num_partitions) const;
+
+  /// Slice-aware fetch plan for an AQE-re-tiled reduce stage: the bytes a
+  /// task covering original partitions [first, last] — sub-split
+  /// `split_index` of `num_splits` when first == last — must fetch from each
+  /// node. `num_partitions` is the stage's LOGICAL reduce partition count
+  /// (the pre-AQE R). With first == last and num_splits == 1 this is exactly
+  /// fetch_plan(first).
+  std::vector<Bytes> fetch_plan_slice(int shuffle_id, int first, int last,
+                                      int split_index, int num_splits,
+                                      int num_partitions) const;
+
+  /// Per-reduce-partition fetch totals (summed over nodes) — the map-output
+  /// statistics the AQE planner re-plans from. O(nodes * R), no commit-array
+  /// rescans; deterministic for a deterministic replay.
+  std::vector<Bytes> reduce_partition_bytes(int shuffle_id,
+                                            int num_partitions) const;
+
+  /// Per-MAP-partition committed output bytes (index = map partition,
+  /// 0 for uncommitted). A copy of the commit registry exposed as a stats
+  /// accessor so callers never walk commit arrays themselves.
+  std::vector<Bytes> map_partition_bytes(int shuffle_id) const;
 
   /// Drops every partition committed on `node` (executor loss). Returns
   /// shuffle id -> the map partitions that must be recomputed, for the
@@ -62,12 +97,22 @@ class ShuffleManager {
   // fetch-plan paths.
   struct ShuffleState {
     bool created = false;
+    double skew = 0.0;                 // reduce-weight Zipf exponent (0=uniform)
     std::vector<Bytes> per_node;       // committed bytes per node
     std::vector<int32_t> commit_node;  // partition -> node (-1: uncommitted)
     std::vector<Bytes> commit_bytes;   // partition -> committed copy's bytes
+    // Lazily built cumulative weight prefix for the skewed case: cum_w[r] =
+    // (sum of w_0..w_{r-1}) / (sum of all R weights), size R+1. Rebuilt when
+    // a different R is requested (R is fixed per shuffle in practice).
+    mutable std::vector<double> cum_w;
   };
 
   ShuffleState& state_for(int shuffle_id);
+  // Bytes of `total` assigned to reduce partitions [0, upto) of R. Exact
+  // (cum_share(R) == total), monotone, and for the uniform case bitwise
+  // equal to the historical base+remainder split.
+  static Bytes cum_share(const ShuffleState& s, Bytes total, int upto, int R);
+  static void ensure_weights(const ShuffleState& s, int R);
 
   int num_nodes_;
   std::vector<ShuffleState> shuffles_;  // indexed by shuffle id

@@ -11,6 +11,24 @@ namespace saex::engine {
 enum class StageSource { kDfs, kShuffle, kCached, kNone };
 enum class StageSink { kShuffleWrite, kDfsWrite, kDriver };
 
+/// One physical reduce task of an AQE-re-planned shuffle stage: a contiguous
+/// range [first, last] of the logical reduce partitions (partition
+/// coalescing), or — when first == last and num_splits > 1 — sub-range
+/// `split_index` of a skew-split hot partition. The identity tiling (one
+/// slice per partition, no splits) is represented by an EMPTY slice list on
+/// the Stage, which keeps the legacy fetch path bitwise intact.
+struct ReduceSlice {
+  int first = 0;
+  int last = 0;
+  int split_index = 0;
+  int num_splits = 1;
+
+  bool operator==(const ReduceSlice& o) const noexcept {
+    return first == o.first && last == o.last &&
+           split_index == o.split_index && num_splits == o.num_splits;
+  }
+};
+
 struct Stage {
   int uid = 0;       // unique across the application
   int ordinal = 0;   // execution position within the job (paper's stage number)
@@ -28,6 +46,19 @@ struct Stage {
   // Reduce-side physical traits of the consumed shuffle (see ShuffleTraits).
   double spill_fraction = 0.0;
   double scatter = 1.0;
+
+  // AQE (src/aqe/): the LOGICAL reduce partition count of the consumed
+  // shuffle (0 = num_tasks; set for kShuffle stages by the DAG scheduler so
+  // it survives a re-plan that changes num_tasks), and the physical task
+  // tiling chosen by the runtime re-planner. Empty slices = identity tiling
+  // (one task per logical partition — the only shape that exists with AQE
+  // off, and the legacy fetch-plan path is taken verbatim).
+  int reduce_partitions = 0;
+  std::vector<ReduceSlice> reduce_slices;
+  // Zipf exponent of the produced shuffle's reduce-partition weights
+  // (ShuffleTraits::skew of the boundary node; 0 = uniform). The driver
+  // registers it with the ShuffleManager before the stage runs.
+  double out_skew = 0.0;
 
   // Pipelined cost aggregate over the stage's narrow chain.
   double cpu_seconds_per_input_mib = 0.0;

@@ -1,0 +1,76 @@
+// AQE-shape workloads (not part of the preset iteration lists, like
+// cache_churn):
+//
+//   skewshuffle — reduce-side hot partition: the shuffle's reduce-partition
+//       weights follow a Zipf law (ShuffleTraits::skew), so one partition
+//       receives a large share of every map output and serializes the
+//       reduce stage. The shape AQE's skew splitting exists for.
+//   tinyparts   — thousands of near-empty reduce partitions on a modest
+//       input: per-task fixed costs (driver<->executor messaging, dispatch
+//       granularity) dominate useful work. The shape AQE's partition
+//       coalescing exists for.
+#include <algorithm>
+
+#include "common/format.h"
+#include "workloads/workloads.h"
+
+namespace saex::workloads {
+
+WorkloadSpec skewshuffle(Bytes input, int partitions, double alpha) {
+  WorkloadSpec spec;
+  spec.name = "skewshuffle";
+  spec.type = "micro";
+  spec.input_size = input;
+  spec.paper_io_ratio = 3.0;  // not in Table 2; full shuffle + reduced write
+
+  spec.build = [input, partitions, alpha](engine::SparkContext& ctx) {
+    auto& dfs = ctx.dfs();
+    if (!dfs.exists("/skew/in")) {
+      dfs.load_input("/skew/in", input, std::min(ctx.cluster().size(), 4));
+    }
+    // Full-size shuffle whose reduce partitioning is Zipf(alpha)-weighted:
+    // partition 0 alone receives roughly a third of the bytes at the
+    // default alpha, so without splitting the reduce stage ends when that
+    // one task does.
+    const engine::Rdd out =
+        ctx.text_file("/skew/in")
+            .map("parse", {0.05, 1.0})
+            .reduce_by_key("skewGroup", {0.08, 1.0}, 1.0, partitions,
+                           engine::ShuffleTraits{0.4, 1.0, alpha})
+            .map("aggregate", {0.12, 0.05})
+            .save_as_text_file("/skew/out", 1);
+    return std::vector<engine::Rdd>{out};
+  };
+  return spec;
+}
+
+WorkloadSpec tinyparts(Bytes input, int partitions) {
+  WorkloadSpec spec;
+  spec.name = "tinyparts";
+  spec.type = "micro";
+  spec.input_size = input;
+  spec.paper_io_ratio = 2.0;
+
+  spec.build = [input, partitions](engine::SparkContext& ctx) {
+    auto& dfs = ctx.dfs();
+    if (!dfs.exists("/tiny/in")) {
+      // 32 MiB blocks: enough map tasks to keep the cluster busy, so the
+      // over-partitioned REDUCE stage is what dominates the makespan.
+      dfs.load_input("/tiny/in", input, std::min(ctx.cluster().size(), 4),
+                     mib(32));
+    }
+    // The over-partitioned aggregation: each reduce partition carries only
+    // a few hundred KiB, so the stage pays thousands of fixed per-task
+    // costs for milliseconds of useful work each.
+    const engine::Rdd out = ctx.text_file("/tiny/in")
+                                .map("parse", {0.04, 1.0})
+                                .reduce_by_key("manyParts", {0.05, 1.0}, 1.0,
+                                               partitions)
+                                .map("fold", {0.05, 0.01})
+                                .collect("sink");
+    return std::vector<engine::Rdd>{out};
+  };
+  return spec;
+}
+
+}  // namespace saex::workloads

@@ -57,6 +57,13 @@ std::vector<WorkloadSpec> extra_workloads();
 WorkloadSpec cache_churn(Bytes per_cache = gib(1), int num_caches = 4,
                          int rounds = 3);
 
+/// AQE stressors (not part of the preset lists; see src/workloads/skew.cpp):
+/// a Zipf-skewed shuffle whose hot reduce partition serializes the stage,
+/// and an over-partitioned aggregation drowning in per-task fixed costs.
+WorkloadSpec skewshuffle(Bytes input = gib(8), int partitions = 64,
+                         double alpha = 1.2);
+WorkloadSpec tinyparts(Bytes input = gib(2), int partitions = 8192);
+
 /// Runs a workload application (all of its jobs) on a fresh context and
 /// returns the merged report.
 engine::JobReport run(const WorkloadSpec& spec, hw::Cluster& cluster,

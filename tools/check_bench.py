@@ -3,13 +3,26 @@
 
 Usage: check_bench.py <smoke.json> <snapshot.json> [slack]
 
-Compares a fresh --smoke run against the checked-in full-run snapshot by
-events/sec (throughput is roughly scale-invariant between the smoke and full
-problem sizes; wall seconds are not). For every scenario present in both
-files, the smoke throughput must be at least snapshot/slack. The default
-slack of 3x absorbs CI-runner noise and the smoke sizes' worse fixed-cost
-amortization while still catching order-of-magnitude regressions (e.g. an
-accidentally reintroduced per-event allocation).
+Two layers of checking:
+
+1. Throughput comparison — a fresh --smoke run against the checked-in
+   full-run snapshot by events/sec (throughput is roughly scale-invariant
+   between the smoke and full problem sizes; wall seconds are not). For
+   every scenario present in both files, the smoke throughput must be at
+   least snapshot/slack. The default slack of 3x absorbs CI-runner noise and
+   the smoke sizes' worse fixed-cost amortization while still catching
+   order-of-magnitude regressions (e.g. an accidentally reintroduced
+   per-event allocation).
+
+2. Guards — each file may carry a "guards" array declaring invariants over
+   its OWN rows (simulated metrics such as makespan_seconds are
+   deterministic, so these are exact, not noise-budgeted):
+     {"type": "min_ratio", "metric": M, "numerator": A, "denominator": B,
+      "min": X}   -> rows[A][M] / rows[B][M] >= X
+     {"type": "min_value", "metric": M, "row": A, "min": X}
+                  -> rows[A][M] >= X
+   Guards in the smoke file validate the fresh run; guards in the snapshot
+   validate the checked-in record.
 
 Exit code 0 = all scenarios within budget, 1 = regression, 2 = bad input.
 """
@@ -21,7 +34,41 @@ import sys
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    return {row["name"]: row for row in doc.get("benchmarks", [])}
+    rows = {row["name"]: row for row in doc.get("benchmarks", [])}
+    return rows, doc.get("guards", [])
+
+
+def check_guards(label, rows, guards):
+    failed = False
+    for g in guards:
+        metric = g["metric"]
+        if g["type"] == "min_ratio":
+            num, den = rows.get(g["numerator"]), rows.get(g["denominator"])
+            if num is None or den is None or metric not in num or metric not in den:
+                print(f"check_bench: FAIL {label} guard: missing row/metric in "
+                      f"{g['numerator']}/{g['denominator']} ({metric})")
+                failed = True
+                continue
+            ratio = num[metric] / den[metric] if den[metric] else float("inf")
+            ok = ratio >= g["min"]
+            print(f"check_bench: {'ok  ' if ok else 'FAIL'} {label} guard "
+                  f"{g['numerator']}/{g['denominator']} {metric}: "
+                  f"{ratio:.3f} (min {g['min']:g})")
+            failed |= not ok
+        elif g["type"] == "min_value":
+            row = rows.get(g["row"])
+            if row is None or metric not in row:
+                print(f"check_bench: FAIL {label} guard: missing {g['row']}.{metric}")
+                failed = True
+                continue
+            ok = row[metric] >= g["min"]
+            print(f"check_bench: {'ok  ' if ok else 'FAIL'} {label} guard "
+                  f"{g['row']}.{metric}: {row[metric]:.3f} (min {g['min']:g})")
+            failed |= not ok
+        else:
+            print(f"check_bench: FAIL {label} guard: unknown type {g['type']!r}")
+            failed = True
+    return failed
 
 
 def main():
@@ -31,8 +78,8 @@ def main():
     smoke_path, snapshot_path = sys.argv[1], sys.argv[2]
     slack = float(sys.argv[3]) if len(sys.argv) == 4 else 3.0
 
-    smoke = load(smoke_path)
-    snapshot = load(snapshot_path)
+    smoke, smoke_guards = load(smoke_path)
+    snapshot, snapshot_guards = load(snapshot_path)
     if not smoke or not snapshot:
         print(f"check_bench: empty benchmark list in {smoke_path} or {snapshot_path}")
         return 2
@@ -52,6 +99,9 @@ def main():
         )
         if got < budget:
             failed = True
+
+    failed |= check_guards("smoke", smoke, smoke_guards)
+    failed |= check_guards("snapshot", snapshot, snapshot_guards)
     return 1 if failed else 0
 
 

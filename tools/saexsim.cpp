@@ -38,7 +38,7 @@ using namespace saex;
 
 const char* kWorkloadChoices =
     "terasort pagerank aggregation join scan bayes lda nweight svm "
-    "wordcount sort kmeans";
+    "wordcount sort kmeans skewshuffle tinyparts";
 const char* kPolicyChoices = "default static dynamic aimd sweep";
 const char* kStoragePolicyChoices = "none lru clock s3fifo tinylfu";
 const char* kModeChoices = "FIFO FAIR";
@@ -59,6 +59,13 @@ struct Args {
   // Storage layer (saex.storage.*).
   double storage_mem_gib = -1.0;  // <0 = config default (node memory fraction)
   std::string storage_policy;     // empty = config default ("none")
+
+  // Adaptive query execution (saex.aqe.*).
+  bool aqe = false;
+  std::string aqe_target;          // empty = config default ("64m")
+  double aqe_skew_factor = -1.0;   // <0 = config default (4.0)
+  int aqe_min_partitions = -1;     // <0 = config default (1)
+  bool aqe_tuner = false;
 
   // Fault injection (saex.fault.*).
   int kill_node = -1;
@@ -128,6 +135,15 @@ void usage() {
       "                      (default: spark.memory.fraction x\n"
       "                      spark.memory.storageFraction x node memory)\n"
       "  --storage-policy P  block eviction policy, one of: %s\n"
+      "  --aqe               adaptive query execution: re-plan reduce stages\n"
+      "                      from actual map-output sizes (coalesce tiny\n"
+      "                      partitions, split skewed ones)\n"
+      "  --aqe-target B      coalesce target bytes, e.g. 64m (default 64m)\n"
+      "  --aqe-skew-factor F split partitions above F x median (default 4)\n"
+      "  --aqe-min-parts N   never coalesce below N tasks (default 0 =\n"
+      "                      spark.default.parallelism)\n"
+      "  --aqe-tuner         per-stage multi-knob tuner: fitted cost model\n"
+      "                      picks the coalesce target and seeds pool sizes\n"
       "  --kill-node N       fault: kill executor N (with --kill-time or\n"
       "                      --kill-after-tasks)\n"
       "  --kill-time T       fault: kill trigger, simulated seconds\n"
@@ -226,6 +242,20 @@ std::optional<Args> parse(int argc, char** argv) {
       args.storage_mem_gib = std::atof(value());
     } else if (a == "--storage-policy") {
       args.storage_policy = value();
+    } else if (a == "--aqe") {
+      args.aqe = true;
+    } else if (a == "--aqe-target") {
+      args.aqe_target = value();
+      args.aqe = true;
+    } else if (a == "--aqe-skew-factor") {
+      args.aqe_skew_factor = std::atof(value());
+      args.aqe = true;
+    } else if (a == "--aqe-min-parts") {
+      args.aqe_min_partitions = std::atoi(value());
+      args.aqe = true;
+    } else if (a == "--aqe-tuner") {
+      args.aqe_tuner = true;
+      args.aqe = true;
     } else if (a == "--kill-node") {
       args.kill_node = std::atoi(value());
     } else if (a == "--kill-time") {
@@ -341,7 +371,26 @@ std::optional<workloads::WorkloadSpec> find_workload(const std::string& name,
     return sized(workloads::sort(), [](Bytes b) { return workloads::sort(b); });
   if (name == "kmeans")
     return sized(workloads::kmeans(), [](Bytes b) { return workloads::kmeans(b); });
+  if (name == "skewshuffle")
+    return sized(workloads::skewshuffle(), [](Bytes b) { return workloads::skewshuffle(b); });
+  if (name == "tinyparts")
+    return sized(workloads::tinyparts(), [](Bytes b) { return workloads::tinyparts(b); });
   return std::nullopt;
+}
+
+void apply_aqe_flags(conf::Config& config, const Args& args) {
+  if (!args.aqe) return;
+  config.set_bool("saex.aqe.enabled", true);
+  if (!args.aqe_target.empty()) {
+    config.set("saex.aqe.targetPartitionBytes", args.aqe_target);
+  }
+  if (args.aqe_skew_factor >= 0.0) {
+    config.set_double("saex.aqe.skewFactor", args.aqe_skew_factor);
+  }
+  if (args.aqe_min_partitions >= 0) {
+    config.set_int("saex.aqe.minPartitions", args.aqe_min_partitions);
+  }
+  if (args.aqe_tuner) config.set_bool("saex.aqe.tuner", true);
 }
 
 void apply_fault_flags(conf::Config& config, const Args& args) {
@@ -394,6 +443,7 @@ conf::Config make_config(const Args& args, const std::string& policy) {
   if (!args.storage_policy.empty()) {
     config.set("saex.storage.policy", args.storage_policy);
   }
+  apply_aqe_flags(config, args);
   apply_fault_flags(config, args);
   return config;
 }
@@ -563,6 +613,7 @@ int run_serve(const Args& args) {
   if (args.quarantine) {
     config.set_bool("saex.resilience.quarantine", true);
   }
+  apply_aqe_flags(config, args);
   apply_fault_flags(config, args);
   if (args.dynalloc) {
     config.set_bool("spark.dynamicAllocation.enabled", true);
