@@ -6,11 +6,13 @@
 // authors' DAS-5 testbed); orderings, rough factors, and crossovers are.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <map>
 #include <string>
 #include <utility>
@@ -252,6 +254,39 @@ inline int jobs_arg(int argc, char** argv) {
     }
   }
   return 1;
+}
+
+/// Parses `--repeat N` (default 1, floor 1): benches that report wall-clock
+/// rows run each scenario N times and keep the MINIMUM wall time — the
+/// standard way to strip scheduler/turbo noise from a timing. Simulated
+/// outputs are deterministic, so repeats only steady the timing; they can
+/// never change a reported simulation result.
+inline int repeat_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeat") == 0) {
+      const int n = std::atoi(argv[i + 1]);
+      return n > 1 ? n : 1;
+    }
+  }
+  return 1;
+}
+
+/// Runs `body` `repeats` times and returns the minimum wall seconds across
+/// the runs (see repeat_arg). `body` is a plain callable; capture whatever
+/// result it produces by reference — every repeat recomputes the identical
+/// deterministic result, so keeping the last one is safe.
+template <typename F>
+inline double min_wall_seconds(int repeats, F&& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < (repeats > 1 ? repeats : 1); ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (wall < best) best = wall;
+  }
+  return best;
 }
 
 inline bool has_flag(int argc, char** argv, const char* flag) {

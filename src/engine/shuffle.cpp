@@ -7,6 +7,20 @@
 
 namespace saex::engine {
 
+std::vector<FetchShare> rotate_fetch_plan(const std::vector<Bytes>& plan,
+                                          int node_id) {
+  const int n = static_cast<int>(plan.size());
+  std::vector<FetchShare> out;
+  out.reserve(plan.size());
+  for (int i = 0; i < n; ++i) {
+    const int src = (node_id + i) % n;
+    const Bytes bytes = plan[static_cast<size_t>(src)];
+    if (bytes == 0) continue;
+    out.push_back(FetchShare{src, bytes});
+  }
+  return out;
+}
+
 ShuffleManager::ShuffleState& ShuffleManager::state_for(int shuffle_id) {
   assert(shuffle_id >= 0);
   if (static_cast<size_t>(shuffle_id) >= shuffles_.size()) {

@@ -29,6 +29,21 @@
 
 namespace saex::engine {
 
+/// One entry of a rotation-ordered fetch plan: `bytes` to pull from `src`.
+struct FetchShare {
+  int src;
+  Bytes bytes;
+};
+
+/// Rotation-ordered view of a per-node fetch plan: the non-empty
+/// (source node, bytes) pairs a reducer running on `node_id` visits, local
+/// share first, then remote nodes in rotating order (node_id + i) % n so
+/// fetch load spreads evenly. The single ordering both the per-chunk and
+/// the flow-batched (saex.net.flowBatch) fetch paths share — plans, fault
+/// rolls, and byte totals agree between the two modes by construction.
+std::vector<FetchShare> rotate_fetch_plan(const std::vector<Bytes>& plan,
+                                          int node_id);
+
 class ShuffleManager {
  public:
   explicit ShuffleManager(int num_nodes) : num_nodes_(num_nodes) {}

@@ -151,6 +151,39 @@ std::string Profiler::report() {
   return table.render();
 }
 
+std::string Profiler::report_json() {
+  struct Row {
+    Subsystem s;
+    uint64_t calls, incl, excl;
+  };
+  std::vector<Row> rows;
+  for (size_t i = 0; i < kN; ++i) {
+    const uint64_t calls = g_totals[i].calls.load(std::memory_order_relaxed);
+    if (calls == 0) continue;
+    rows.push_back(Row{static_cast<Subsystem>(i), calls,
+                       g_totals[i].inclusive_ns.load(std::memory_order_relaxed),
+                       g_totals[i].exclusive_ns.load(std::memory_order_relaxed)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.excl > b.excl; });
+
+  std::string out = "{\"subsystems\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"calls\": %llu, "
+                  "\"inclusive_ns\": %llu, \"exclusive_ns\": %llu}",
+                  i == 0 ? "" : ",", subsystem_name(r.s),
+                  static_cast<unsigned long long>(r.calls),
+                  static_cast<unsigned long long>(r.incl),
+                  static_cast<unsigned long long>(r.excl));
+    out += buf;
+  }
+  out += rows.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
 void ScopedTimer::open(Subsystem s) noexcept {
   open_ = true;
   t_stack.push_back(Frame{s, now_ns(), 0});

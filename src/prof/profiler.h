@@ -57,6 +57,11 @@ class Profiler {
   /// Renders the per-subsystem table (sorted by exclusive time, descending).
   /// Empty string when nothing was recorded.
   static std::string report();
+  /// Machine-readable variant (saexsim --profile-json): a JSON object with a
+  /// "subsystems" array of {name, calls, inclusive_ns, exclusive_ns}, same
+  /// rows and order as report(). "{\"subsystems\": []}" when nothing was
+  /// recorded, so consumers always get valid JSON.
+  static std::string report_json();
   static void reset() noexcept;
   static uint64_t total_calls(Subsystem s) noexcept;
   static uint64_t exclusive_ns(Subsystem s) noexcept;

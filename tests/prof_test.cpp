@@ -82,6 +82,24 @@ TEST_F(Profiler_, SubsystemNamesCoverEnum) {
   }
 }
 
+TEST_F(Profiler_, ReportJsonEmptyWithoutSamples) {
+  EXPECT_EQ(Profiler::report_json(), "{\"subsystems\": []}\n");
+}
+
+TEST_F(Profiler_, ReportJsonListsRecordedSubsystems) {
+  Profiler::record(Subsystem::kDisk, 2000, 1500, 3);
+  Profiler::record(Subsystem::kNetwork, 500, 500, 1);
+  const std::string json = Profiler::report_json();
+  // Rows sorted by exclusive time, one object per active subsystem, with
+  // the exact fields --profile-json consumers parse.
+  EXPECT_NE(json.find("{\"name\": \"hw/disk\", \"calls\": 3, "
+                      "\"inclusive_ns\": 2000, \"exclusive_ns\": 1500}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"hw/network\""), std::string::npos);
+  EXPECT_LT(json.find("hw/disk"), json.find("hw/network"));
+  EXPECT_EQ(json.find("sim\""), std::string::npos);  // no idle subsystems
+}
+
 // Profiling reads wall clocks only — enabling it must not change what the
 // simulation computes.
 TEST_F(Profiler_, EnablingDoesNotPerturbJobReports) {

@@ -2,6 +2,7 @@
 """Wall-clock regression guard for the BENCH_*.json perf trajectories.
 
 Usage: check_bench.py <smoke.json> <snapshot.json> [slack]
+       check_bench.py --self-check
 
 Two layers of checking:
 
@@ -24,6 +25,14 @@ Two layers of checking:
    Guards in the smoke file validate the fresh run; guards in the snapshot
    validate the checked-in record.
 
+Every failure line carries the measured value, the bound it violated, and
+the percent delta between them, so a red CI log answers "how far off?"
+without a rerun.
+
+`--self-check` runs the built-in unit tests (synthetic documents through
+both checking layers, asserting which must pass and which must fail) and is
+wired into CI + ctest so the checker itself cannot silently rot.
+
 Exit code 0 = all scenarios within budget, 1 = regression, 2 = bad input.
 """
 
@@ -34,15 +43,47 @@ import sys
 def load(path):
     with open(path) as f:
         doc = json.load(f)
+    return parse(doc)
+
+
+def parse(doc):
     rows = {row["name"]: row for row in doc.get("benchmarks", [])}
     return rows, doc.get("guards", [])
+
+
+def pct_delta(measured, bound):
+    """Signed percent distance of `measured` from `bound` (negative = below)."""
+    if bound == 0:
+        return 0.0
+    return 100.0 * (measured - bound) / bound
+
+
+def check_throughput(smoke, snapshot, slack, smoke_path="smoke"):
+    failed = False
+    for name, snap in sorted(snapshot.items()):
+        if name not in smoke:
+            print(f"check_bench: FAIL {name}: missing from {smoke_path}")
+            failed = True
+            continue
+        budget = snap["events_per_sec"] / slack
+        got = smoke[name]["events_per_sec"]
+        ok = got >= budget
+        line = (
+            f"check_bench: {'ok  ' if ok else 'FAIL'} {name}: {got:,.0f} events/s "
+            f"(budget {budget:,.0f} = snapshot {snap['events_per_sec']:,.0f} / {slack:g}"
+        )
+        if not ok:
+            line += f"; {pct_delta(got, budget):+.1f}% vs budget"
+            failed = True
+        print(line + ")")
+    return failed
 
 
 def check_guards(label, rows, guards):
     failed = False
     for g in guards:
-        metric = g["metric"]
-        if g["type"] == "min_ratio":
+        metric = g.get("metric", "?")
+        if g.get("type") == "min_ratio":
             num, den = rows.get(g["numerator"]), rows.get(g["denominator"])
             if num is None or den is None or metric not in num or metric not in den:
                 print(f"check_bench: FAIL {label} guard: missing row/metric in "
@@ -51,27 +92,91 @@ def check_guards(label, rows, guards):
                 continue
             ratio = num[metric] / den[metric] if den[metric] else float("inf")
             ok = ratio >= g["min"]
-            print(f"check_bench: {'ok  ' if ok else 'FAIL'} {label} guard "
-                  f"{g['numerator']}/{g['denominator']} {metric}: "
-                  f"{ratio:.3f} (min {g['min']:g})")
+            line = (f"check_bench: {'ok  ' if ok else 'FAIL'} {label} guard "
+                    f"{g['numerator']}/{g['denominator']} {metric}: "
+                    f"{ratio:.3f} (min {g['min']:g}")
+            if not ok:
+                line += (f"; measured {num[metric]:g} / {den[metric]:g}, "
+                         f"{pct_delta(ratio, g['min']):+.1f}% vs bound")
+            print(line + ")")
             failed |= not ok
-        elif g["type"] == "min_value":
+        elif g.get("type") == "min_value":
             row = rows.get(g["row"])
             if row is None or metric not in row:
                 print(f"check_bench: FAIL {label} guard: missing {g['row']}.{metric}")
                 failed = True
                 continue
             ok = row[metric] >= g["min"]
-            print(f"check_bench: {'ok  ' if ok else 'FAIL'} {label} guard "
-                  f"{g['row']}.{metric}: {row[metric]:.3f} (min {g['min']:g})")
+            line = (f"check_bench: {'ok  ' if ok else 'FAIL'} {label} guard "
+                    f"{g['row']}.{metric}: {row[metric]:.3f} (min {g['min']:g}")
+            if not ok:
+                line += f"; {pct_delta(row[metric], g['min']):+.1f}% vs bound"
+            print(line + ")")
             failed |= not ok
         else:
-            print(f"check_bench: FAIL {label} guard: unknown type {g['type']!r}")
+            print(f"check_bench: FAIL {label} guard: unknown type {g.get('type')!r}")
             failed = True
     return failed
 
 
+def self_check():
+    """Unit tests: synthetic documents through both layers, asserting which
+    configurations must pass and which must fail."""
+    def doc(rows, guards=None):
+        d = {"benchmarks": rows}
+        if guards:
+            d["guards"] = guards
+        return parse(d)
+
+    fast = [{"name": "a", "events_per_sec": 900.0, "m": 10.0}]
+    slow = [{"name": "a", "events_per_sec": 250.0, "m": 10.0}]
+    snap = [{"name": "a", "events_per_sec": 1000.0, "m": 30.0},
+            {"name": "b", "events_per_sec": 1.0, "m": 3.0}]
+
+    cases = [
+        # (description, expect_failed, thunk)
+        ("within-slack throughput passes", False,
+         lambda: check_throughput(doc(fast)[0], doc(fast)[0], 3.0)),
+        ("3.3x-below-budget throughput fails", True,
+         lambda: check_throughput(doc(slow)[0], doc(snap[:1])[0], 3.0)),
+        ("missing scenario fails", True,
+         lambda: check_throughput(doc(fast)[0], doc(snap)[0], 3.0)),
+        ("satisfied min_ratio passes", False,
+         lambda: check_guards("t", *doc(snap, [
+             {"type": "min_ratio", "metric": "m", "numerator": "a",
+              "denominator": "b", "min": 3.0}]))),
+        ("violated min_ratio fails", True,
+         lambda: check_guards("t", *doc(snap, [
+             {"type": "min_ratio", "metric": "m", "numerator": "b",
+              "denominator": "a", "min": 3.0}]))),
+        ("satisfied min_value passes", False,
+         lambda: check_guards("t", *doc(fast, [
+             {"type": "min_value", "metric": "m", "row": "a", "min": 5.0}]))),
+        ("violated min_value fails", True,
+         lambda: check_guards("t", *doc(fast, [
+             {"type": "min_value", "metric": "m", "row": "a", "min": 50.0}]))),
+        ("guard on missing row fails", True,
+         lambda: check_guards("t", *doc(fast, [
+             {"type": "min_value", "metric": "m", "row": "zz", "min": 1.0}]))),
+        ("unknown guard type fails", True,
+         lambda: check_guards("t", *doc(fast, [{"type": "max_value"}]))),
+    ]
+    bad = 0
+    for desc, expect_failed, thunk in cases:
+        got_failed = thunk()
+        verdict = "ok" if got_failed == expect_failed else "SELF-CHECK FAIL"
+        print(f"check_bench: {verdict}: {desc}")
+        bad += got_failed != expect_failed
+    if bad:
+        print(f"check_bench: self-check: {bad}/{len(cases)} case(s) wrong")
+        return 1
+    print(f"check_bench: self-check passed ({len(cases)} cases)")
+    return 0
+
+
 def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-check":
+        return self_check()
     if len(sys.argv) not in (3, 4):
         print(__doc__)
         return 2
@@ -84,22 +189,7 @@ def main():
         print(f"check_bench: empty benchmark list in {smoke_path} or {snapshot_path}")
         return 2
 
-    failed = False
-    for name, snap in sorted(snapshot.items()):
-        if name not in smoke:
-            print(f"check_bench: FAIL {name}: missing from {smoke_path}")
-            failed = True
-            continue
-        budget = snap["events_per_sec"] / slack
-        got = smoke[name]["events_per_sec"]
-        verdict = "ok" if got >= budget else "FAIL"
-        print(
-            f"check_bench: {verdict:4} {name}: {got:,.0f} events/s "
-            f"(budget {budget:,.0f} = snapshot {snap['events_per_sec']:,.0f} / {slack:g})"
-        )
-        if got < budget:
-            failed = True
-
+    failed = check_throughput(smoke, snapshot, slack, smoke_path)
     failed |= check_guards("smoke", smoke, smoke_guards)
     failed |= check_guards("snapshot", snapshot, snapshot_guards)
     return 1 if failed else 0

@@ -60,6 +60,9 @@ struct Args {
   double storage_mem_gib = -1.0;  // <0 = config default (node memory fraction)
   std::string storage_policy;     // empty = config default ("none")
 
+  // Network data plane (saex.net.*).
+  bool flow_batch = false;
+
   // Adaptive query execution (saex.aqe.*).
   bool aqe = false;
   std::string aqe_target;          // empty = config default ("64m")
@@ -82,6 +85,7 @@ struct Args {
   bool list = false;
   bool help = false;
   bool profile = false;
+  std::string profile_json_path;
   // Harness parallelism for multi-run modes (policy sweep). In the serve
   // subcommand --jobs means trace length instead (kept for compatibility).
   int par_jobs = 1;
@@ -135,6 +139,9 @@ void usage() {
       "                      (default: spark.memory.fraction x\n"
       "                      spark.memory.storageFraction x node memory)\n"
       "  --storage-policy P  block eviction policy, one of: %s\n"
+      "  --flow-batch        flow-batched shuffle data plane: one network\n"
+      "                      flow per (source, reducer) pair instead of one\n"
+      "                      transfer per chunk per block (saex.net.flowBatch)\n"
       "  --aqe               adaptive query execution: re-plan reduce stages\n"
       "                      from actual map-output sizes (coalesce tiny\n"
       "                      partitions, split skewed ones)\n"
@@ -165,6 +172,9 @@ void usage() {
       "  --profile           record per-subsystem wall time; print the\n"
       "                      profiler table after the run (SAEX_PROFILE=1\n"
       "                      in the environment does the same)\n"
+      "  --profile-json FILE record per-subsystem wall time and write it as\n"
+      "                      JSON ({name, calls, inclusive_ns, exclusive_ns}\n"
+      "                      per subsystem) after the run\n"
       "  --verbose           INFO-level engine logging\n"
       "\n"
       "saexsim serve — multi-tenant job server replaying an arrival trace\n"
@@ -242,6 +252,8 @@ std::optional<Args> parse(int argc, char** argv) {
       args.storage_mem_gib = std::atof(value());
     } else if (a == "--storage-policy") {
       args.storage_policy = value();
+    } else if (a == "--flow-batch") {
+      args.flow_batch = true;
     } else if (a == "--aqe") {
       args.aqe = true;
     } else if (a == "--aqe-target") {
@@ -326,6 +338,8 @@ std::optional<Args> parse(int argc, char** argv) {
       args.jobs_table = true;
     } else if (a == "--profile") {
       args.profile = true;
+    } else if (a == "--profile-json") {
+      args.profile_json_path = value();
     } else if (a == "--verbose") {
       log::set_level(log::Level::kInfo);
     } else if (a == "--list") {
@@ -443,6 +457,7 @@ conf::Config make_config(const Args& args, const std::string& policy) {
   if (!args.storage_policy.empty()) {
     config.set("saex.storage.policy", args.storage_policy);
   }
+  if (args.flow_batch) config.set_bool("saex.net.flowBatch", true);
   apply_aqe_flags(config, args);
   apply_fault_flags(config, args);
   return config;
@@ -613,6 +628,7 @@ int run_serve(const Args& args) {
   if (args.quarantine) {
     config.set_bool("saex.resilience.quarantine", true);
   }
+  if (args.flow_batch) config.set_bool("saex.net.flowBatch", true);
   apply_aqe_flags(config, args);
   apply_fault_flags(config, args);
   if (args.dynalloc) {
@@ -665,6 +681,23 @@ int run_serve(const Args& args) {
   return 0;
 }
 
+// Prints the profiler table and/or writes the JSON breakdown at exit,
+// whichever of --profile / --profile-json asked for it.
+void finish_profiling(const Args& args) {
+  if (prof::Profiler::enabled()) {
+    std::printf("\n%s", prof::Profiler::report().c_str());
+  }
+  if (args.profile_json_path.empty()) return;
+  std::ofstream out(args.profile_json_path);
+  if (out.good()) {
+    out << prof::Profiler::report_json();
+    std::printf("wrote profile json -> %s\n", args.profile_json_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAILED to write profile json -> %s\n",
+                 args.profile_json_path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -683,7 +716,9 @@ int main(int argc, char** argv) {
                  args.max_retries);
     return 2;
   }
-  if (args.profile) prof::Profiler::set_enabled(true);
+  if (args.profile || !args.profile_json_path.empty()) {
+    prof::Profiler::set_enabled(true);
+  }
   if (args.help) {
     usage();
     return 0;
@@ -729,9 +764,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     const int rc = run_serve(args);
-    if (prof::Profiler::enabled()) {
-      std::printf("\n%s", prof::Profiler::report().c_str());
-    }
+    finish_profiling(args);
     return rc;
   }
 
@@ -744,9 +777,7 @@ int main(int argc, char** argv) {
 
   if (args.policy == "sweep") {
     const int rc = run_sweep(args, *spec);
-    if (prof::Profiler::enabled()) {
-      std::printf("\n%s", prof::Profiler::report().c_str());
-    }
+    finish_profiling(args);
     return rc;
   }
   if (!serve_policy_ok) {
@@ -755,8 +786,6 @@ int main(int argc, char** argv) {
     return 2;
   }
   const int rc = run_once(args, *spec, args.policy, args.io_threads);
-  if (prof::Profiler::enabled()) {
-    std::printf("\n%s", prof::Profiler::report().c_str());
-  }
+  finish_profiling(args);
   return rc;
 }
